@@ -1,0 +1,88 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation at laptop scale (see DESIGN.md §4 for the experiment index).  The
+heavy, shared work — generating the training corpora, profiling them with all
+partitioners and workloads, and training EASE — is done once per benchmark
+session in :mod:`benchmarks.conftest` and cached on disk, so individual
+benchmarks only pay for their own evaluation step.
+
+Reported numbers are printed as plain-text tables (the "rows/series" of the
+paper) and also appended to ``benchmarks/results/`` so they can be inspected
+after the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+RESULTS_DIRECTORY = os.path.join(os.path.dirname(__file__), "results")
+CACHE_DIRECTORY = os.path.join(os.path.dirname(__file__), "_cache")
+
+
+# --------------------------------------------------------------------------- #
+# Reporting
+# --------------------------------------------------------------------------- #
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render a fixed-width text table."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [max(len(str(header)), *(len(row[i]) for row in rows)) if rows
+              else len(str(header))
+              for i, header in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def report(name: str, text: str) -> None:
+    """Print a benchmark report and persist it under ``benchmarks/results``."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    os.makedirs(RESULTS_DIRECTORY, exist_ok=True)
+    path = os.path.join(RESULTS_DIRECTORY, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+# --------------------------------------------------------------------------- #
+# Disk cache for the expensive shared fixtures
+# --------------------------------------------------------------------------- #
+def cached(key: str, builder):
+    """Build-or-load a pickled artefact keyed by ``key``.
+
+    The cache keeps benchmark re-runs fast; delete ``benchmarks/_cache`` to
+    force a rebuild (e.g. after changing profiling settings).
+    """
+    os.makedirs(CACHE_DIRECTORY, exist_ok=True)
+    path = os.path.join(CACHE_DIRECTORY, f"{key}.pkl")
+    if os.path.exists(path):
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            os.remove(path)
+    artefact = builder()
+    with open(path, "wb") as handle:
+        pickle.dump(artefact, handle)
+    return artefact

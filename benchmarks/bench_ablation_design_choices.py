@@ -1,0 +1,160 @@
+"""Ablation of the design choices discussed in Section IV-E of the paper.
+
+* Alternative 1 — a single end-to-end model instead of separate partitioning
+  and processing time predictors.
+* Alternative 2 — using the partitioner identity as a feature of the
+  processing-time model instead of the predicted quality metrics.
+* Feature-set ablation — basic vs advanced features for the replication
+  factor (the Table VI comparison).
+* Model-family comparison — the six ML families cross-validated on the
+  replication-factor task (the protocol of Section IV-C).
+"""
+
+import numpy as np
+import pytest
+
+from _harness import format_table, report
+from repro.ml import (
+    GradientBoostingRegressor,
+    OneHotEncoder,
+    StandardScaler,
+    mape,
+)
+from repro.ease import (
+    PartitioningQualityPredictor,
+    ProcessingTimeFeatureBuilder,
+    compare_model_families,
+    graph_feature_vector,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Alternative 1 / 2: feature choices of the processing-time model
+# --------------------------------------------------------------------------- #
+def _processing_matrices(records, use_partitioner_identity):
+    """Feature matrix for the processing model, with either quality metrics
+    (the paper's choice) or the partitioner identity (Alternative 2)."""
+    properties = [r.properties for r in records]
+    if use_partitioner_identity:
+        encoder = OneHotEncoder(handle_unknown="ignore")
+        encoded = encoder.fit_transform([r.partitioner for r in records])
+        base = np.vstack([graph_feature_vector(p, "simple") for p in properties])
+        k_column = np.array([[r.num_partitions] for r in records], dtype=float)
+        features = np.hstack([base, k_column, encoded])
+    else:
+        builder = ProcessingTimeFeatureBuilder()
+        features = builder.build(properties,
+                                 [r.num_partitions for r in records],
+                                 [r.metrics for r in records])
+    targets = np.array([r.target_seconds for r in records])
+    return features, targets
+
+
+def _alternative2_ablation(runtime_training_records, large_test_records):
+    rows = []
+    for algorithm in sorted({r.algorithm for r in
+                             runtime_training_records.processing}):
+        train = [r for r in runtime_training_records.processing
+                 if r.algorithm == algorithm]
+        test = [r for r in large_test_records.processing
+                if r.algorithm == algorithm]
+        if not test:
+            continue
+        scores = {}
+        for label, use_identity in (("quality metrics", False),
+                                    ("partitioner identity", True)):
+            train_x, train_y = _processing_matrices(train, use_identity)
+            test_x, test_y = _processing_matrices(test, use_identity)
+            scaler = StandardScaler().fit(train_x)
+            model = GradientBoostingRegressor(n_estimators=120, max_depth=3,
+                                              random_state=0)
+            model.fit(scaler.transform(train_x), np.log1p(train_y))
+            predictions = np.expm1(model.predict(scaler.transform(test_x)))
+            scores[label] = mape(test_y, np.clip(predictions, 0, None))
+        rows.append((algorithm, scores["quality metrics"],
+                     scores["partitioner identity"]))
+    return rows
+
+
+def test_ablation_quality_metrics_vs_partitioner_identity(
+        benchmark, runtime_training_records, large_test_records):
+    rows = benchmark.pedantic(
+        _alternative2_ablation,
+        args=(runtime_training_records, large_test_records),
+        rounds=1, iterations=1)
+    report("ablation_alternative2_processing_features", format_table(
+        ("algorithm", "MAPE (quality-metric features)",
+         "MAPE (partitioner-identity features)"), rows,
+        title="Section IV-E Alternative 2: processing-time prediction with "
+              "quality-metric features vs partitioner-identity features"))
+    # Both variants must work; the quality-metric features (the paper's
+    # choice) should be competitive on average.
+    quality_mape = np.mean([row[1] for row in rows])
+    identity_mape = np.mean([row[2] for row in rows])
+    assert quality_mape < 2.0
+    assert quality_mape <= identity_mape * 2.0
+
+
+# --------------------------------------------------------------------------- #
+# Feature-set ablation for the replication factor
+# --------------------------------------------------------------------------- #
+def _feature_set_ablation(quality_training_records, test_quality_records):
+    rows = []
+    for feature_set in ("simple", "basic", "advanced"):
+        predictor = PartitioningQualityPredictor(
+            feature_set="basic", replication_feature_set=feature_set)
+        predictor.fit(quality_training_records.quality,
+                      targets=["replication_factor"])
+        scores = predictor.evaluate(test_quality_records.quality)
+        rows.append((feature_set, scores["replication_factor"]["mape"],
+                     scores["replication_factor"]["rmse"]))
+    return rows
+
+
+def test_ablation_feature_sets_for_replication_factor(
+        benchmark, quality_training_records, test_quality_records):
+    rows = benchmark.pedantic(
+        _feature_set_ablation,
+        args=(quality_training_records, test_quality_records),
+        rounds=1, iterations=1)
+    report("ablation_feature_sets_replication_factor", format_table(
+        ("feature set", "MAPE", "RMSE"), rows,
+        title="Feature-set ablation for the replication-factor prediction"))
+    by_set = {row[0]: row[1] for row in rows}
+    # Richer graph features must not be substantially worse than size-only
+    # features (the paper finds basic/advanced roughly comparable).
+    assert by_set["basic"] <= by_set["simple"] * 1.3
+
+
+# --------------------------------------------------------------------------- #
+# Model-family comparison on the replication-factor task
+# --------------------------------------------------------------------------- #
+def _model_family_comparison(quality_training_records):
+    predictor = PartitioningQualityPredictor()
+    records = quality_training_records.quality
+    builder = predictor._builder_for("replication_factor").fit(
+        sorted({r.partitioner for r in records}))
+    features = builder.build([r.properties for r in records],
+                             [r.partitioner for r in records],
+                             [r.num_partitions for r in records])
+    features = StandardScaler().fit_transform(features)
+    targets = np.array([r.metrics["replication_factor"] for r in records])
+    comparison = compare_model_families(
+        features, targets,
+        families=("polynomial_regression", "knn", "random_forest", "xgboost"),
+        n_splits=4)
+    return comparison.as_table()
+
+
+def test_model_family_comparison_replication_factor(benchmark,
+                                                    quality_training_records):
+    table = benchmark.pedantic(_model_family_comparison,
+                               args=(quality_training_records,),
+                               rounds=1, iterations=1)
+    report("model_family_comparison_replication_factor", format_table(
+        ("model family", "cross-validation MAPE"), table,
+        title="Section IV-C: model families cross-validated on the "
+              "replication-factor task (synthetic training data)"))
+    scores = dict(table)
+    # Tree ensembles should beat the KNN baseline on this task.
+    assert min(scores["random_forest"], scores["xgboost"]) <= scores["knn"]

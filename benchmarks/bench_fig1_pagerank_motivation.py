@@ -1,0 +1,66 @@
+"""Figure 1: PageRank motivation experiment.
+
+Replication factor, partitioning run-time and PageRank processing run-time of
+CRVC, 2D, 2PS and NE on two large skewed graphs (Friendster- and sk-2005-like
+stand-ins).  The paper's finding: better replication factor means faster
+PageRank, but the low-RF partitioners pay a much higher partitioning time.
+"""
+
+import pytest
+
+from _harness import format_table, report
+from repro.generators import generate_realworld_graph
+from repro.partitioning import compute_quality_metrics, create_partitioner
+from repro.processing import PageRank, ProcessingEngine
+from repro.ease import PartitioningCostModel
+
+PARTITIONERS = ("crvc", "2d", "2ps", "ne")
+NUM_PARTITIONS = 8
+PAGERANK_ITERATIONS = 20
+
+
+@pytest.fixture(scope="module")
+def motivation_graphs():
+    return {
+        "friendster-like (FR)": generate_realworld_graph("soc", 2000, 16000, seed=1),
+        "sk-2005-like (SK)": generate_realworld_graph("web", 2000, 18000, seed=2),
+    }
+
+
+def _run_experiment(graphs):
+    engine = ProcessingEngine()
+    cost_model = PartitioningCostModel()
+    rows = []
+    for graph_label, graph in graphs.items():
+        for name in PARTITIONERS:
+            partition = create_partitioner(name)(graph, NUM_PARTITIONS)
+            metrics = compute_quality_metrics(partition)
+            partitioning_seconds = cost_model.estimate_seconds(
+                graph, name, NUM_PARTITIONS)
+            processing = engine.run(partition,
+                                    PageRank(num_iterations=PAGERANK_ITERATIONS))
+            rows.append((graph_label, name, metrics.replication_factor,
+                         partitioning_seconds, processing.total_seconds))
+    return rows
+
+
+def test_fig1_pagerank_motivation(benchmark, motivation_graphs):
+    rows = benchmark.pedantic(_run_experiment, args=(motivation_graphs,),
+                              rounds=1, iterations=1)
+    report("fig1_pagerank_motivation", format_table(
+        ("graph", "partitioner", "replication factor",
+         "partitioning time (s)", "PageRank time (s)"), rows,
+        title="Figure 1: PageRank on Friendster/sk-2005 stand-ins "
+              f"(k={NUM_PARTITIONS}, {PAGERANK_ITERATIONS} iterations)"))
+
+    # Paper shape checks: on both graphs NE has the lowest RF and the lowest
+    # processing time but the highest partitioning time; CRVC the opposite.
+    by_graph = {}
+    for graph_label, name, rf, part_seconds, proc_seconds in rows:
+        by_graph.setdefault(graph_label, {})[name] = (rf, part_seconds,
+                                                      proc_seconds)
+    for graph_label, results in by_graph.items():
+        assert results["ne"][0] < results["crvc"][0]
+        assert results["ne"][2] < results["crvc"][2]
+        assert results["ne"][1] > results["2d"][1]
+        assert results["2ps"][0] <= results["2d"][0]

@@ -1,0 +1,117 @@
+"""Figure 6: training-graph property coverage and the clustering/RF relation.
+
+(a)-(e): distributions (min / median / max) of mean degree, clustering
+coefficient, mean triangles and in-/out-degree skewness for R-MAT graphs,
+Barabási–Albert graphs and real-world-like graphs — R-MAT covers the
+real-world ranges, BA does not.
+
+(f): for a fixed edge count, varying |V| and the Table II parameter
+combinations, the clustering coefficient of the graph anti-correlates with
+the replication factor HDRF achieves — well-clustered graphs are easier to
+partition.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import format_table, report
+from repro.graph import compute_properties
+from repro.generators import (
+    TABLE2_PARAMETER_COMBINATIONS,
+    generate_barabasi_albert,
+    generate_rmat,
+)
+from repro.partitioning import create_partitioner, replication_factor
+
+PROPERTY_NAMES = ("mean_degree", "mean_local_clustering", "mean_triangles",
+                  "in_degree_skewness", "out_degree_skewness")
+
+
+def _corpus_properties(graphs):
+    return [compute_properties(graph, exact_triangles=False, sample_size=400)
+            for graph in graphs]
+
+
+@pytest.fixture(scope="module")
+def corpora(small_training_graphs, test_catalogue):
+    rmat_graphs = small_training_graphs[::3]
+    ba_graphs = [generate_barabasi_albert(1000, m, seed=m) for m in
+                 (1, 2, 4, 8, 16, 24)]
+    realworld_graphs = test_catalogue
+    return {
+        "R-MAT": _corpus_properties(rmat_graphs),
+        "BA": _corpus_properties(ba_graphs),
+        "RW": _corpus_properties(realworld_graphs),
+    }
+
+
+def _coverage_rows(corpora):
+    rows = []
+    for property_name in PROPERTY_NAMES:
+        for corpus_name, props in corpora.items():
+            values = np.array([getattr(p, property_name) for p in props])
+            rows.append((property_name, corpus_name, values.min(),
+                         float(np.median(values)), values.max()))
+    return rows
+
+
+def test_fig6a_to_e_property_coverage(benchmark, corpora):
+    rows = benchmark.pedantic(_coverage_rows, args=(corpora,), rounds=1,
+                              iterations=1)
+    report("fig6a_e_property_coverage", format_table(
+        ("property", "corpus", "min", "median", "max"), rows,
+        title="Figure 6(a)-(e): graph-property coverage of R-MAT vs "
+              "Barabasi-Albert vs real-world-like graphs"))
+
+    def span(property_name, corpus):
+        values = [row for row in rows if row[0] == property_name
+                  and row[1] == corpus]
+        return values[0][2], values[0][4]
+
+    # R-MAT must cover a wide clustering range; BA graphs have essentially no
+    # clustering, which is the paper's argument against the BA generator.
+    rmat_low, rmat_high = span("mean_local_clustering", "R-MAT")
+    ba_low, ba_high = span("mean_local_clustering", "BA")
+    assert rmat_high > 0.1
+    assert ba_high < rmat_high
+    rw_low, rw_high = span("mean_degree", "RW")
+    rmat_deg_low, rmat_deg_high = span("mean_degree", "R-MAT")
+    assert rmat_deg_high >= rw_high * 0.3
+
+
+def _clustering_vs_rf_series():
+    num_edges = 6000
+    series = []
+    for num_vertices in (512, 1024, 2048, 4096):
+        for combo_index, parameters in enumerate(TABLE2_PARAMETER_COMBINATIONS):
+            graph = generate_rmat(num_vertices, num_edges, parameters,
+                                  seed=combo_index)
+            properties = compute_properties(graph, exact_triangles=False,
+                                            sample_size=400)
+            partition = create_partitioner("hdrf")(graph, 8)
+            series.append((num_vertices, f"C{combo_index + 1}",
+                           properties.mean_local_clustering,
+                           replication_factor(partition)))
+    return series
+
+
+def test_fig6f_clustering_vs_replication_factor(benchmark):
+    series = benchmark.pedantic(_clustering_vs_rf_series, rounds=1, iterations=1)
+    report("fig6f_clustering_vs_rf", format_table(
+        ("|V|", "combination", "clustering coefficient", "HDRF replication factor"),
+        series,
+        title="Figure 6(f): clustering coefficient vs HDRF replication factor "
+              "(|E| fixed, varying |V| and Table II parameters)"))
+
+    # In Figure 6(f) every line is one vertex count; within a line (i.e. at a
+    # fixed density) higher clustering coefficients go along with lower
+    # replication factors.  The correlation is therefore evaluated per vertex
+    # count, which avoids the cross-density confounder.
+    per_vertex_count_correlations = []
+    for num_vertices in sorted({row[0] for row in series}):
+        rows = [row for row in series if row[0] == num_vertices]
+        clustering = np.array([row[2] for row in rows])
+        rf = np.array([row[3] for row in rows])
+        per_vertex_count_correlations.append(np.corrcoef(clustering, rf)[0, 1])
+    assert np.mean(per_vertex_count_correlations) < -0.5
+    assert all(value < 0 for value in per_vertex_count_correlations)

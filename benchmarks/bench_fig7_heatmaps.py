@@ -1,0 +1,69 @@
+"""Figure 7(a)/(c): per-(graph type, partitioner) MAPE heat maps.
+
+The replication-factor prediction error depends mostly on the graph type
+(collaboration/web/wiki are harder) while the vertex-balance error depends
+mostly on the partitioner (NE and HEP-100 are harder, because their vertex
+balance is unstable across runs).
+"""
+
+import numpy as np
+import pytest
+
+from _harness import format_table, report
+from repro.partitioning import ALL_PARTITIONER_NAMES
+from repro.ease import per_type_mape_matrix
+
+
+def _heatmaps(trained_ease, test_quality_records):
+    records = test_quality_records.quality
+    rf_matrix = per_type_mape_matrix(trained_ease.quality_predictor, records,
+                                     metric="replication_factor")
+    vb_matrix = per_type_mape_matrix(trained_ease.quality_predictor, records,
+                                     metric="vertex_balance")
+    return rf_matrix, vb_matrix
+
+
+def _matrix_rows(matrix):
+    graph_types = sorted({key[0] for key in matrix})
+    partitioners = [name for name in ALL_PARTITIONER_NAMES
+                    if any(key[1] == name for key in matrix)]
+    rows = []
+    for graph_type in graph_types:
+        row = [graph_type]
+        for partitioner in partitioners:
+            row.append(matrix.get((graph_type, partitioner), float("nan")))
+        rows.append(tuple(row))
+    return ("type", *partitioners), rows
+
+
+def test_fig7_prediction_error_heatmaps(benchmark, trained_ease,
+                                        test_quality_records):
+    rf_matrix, vb_matrix = benchmark.pedantic(
+        _heatmaps, args=(trained_ease, test_quality_records), rounds=1,
+        iterations=1)
+
+    rf_headers, rf_rows = _matrix_rows(rf_matrix)
+    vb_headers, vb_rows = _matrix_rows(vb_matrix)
+    report("fig7a_replication_factor_heatmap", format_table(
+        rf_headers, rf_rows,
+        title="Figure 7(a): replication-factor MAPE per (graph type, partitioner)"))
+    report("fig7c_vertex_balance_heatmap", format_table(
+        vb_headers, vb_rows,
+        title="Figure 7(c): vertex-balance MAPE per (graph type, partitioner)"))
+
+    # Nothing should degenerate completely.
+    assert all(np.isfinite(v) for v in rf_matrix.values())
+    assert all(np.isfinite(v) for v in vb_matrix.values())
+
+    # Paper shape for Fig. 7(c): the vertex balance of the hashing
+    # partitioners is far easier to predict than that of the in-memory /
+    # hybrid partitioners (whose balance is unstable).
+    def average_over_types(matrix, partitioner):
+        values = [v for (gtype, p), v in matrix.items() if p == partitioner]
+        return float(np.mean(values))
+
+    stateless = np.mean([average_over_types(vb_matrix, p)
+                         for p in ("crvc", "dbh", "1dd")])
+    in_memory = np.mean([average_over_types(vb_matrix, p)
+                         for p in ("ne", "hep100")])
+    assert stateless <= in_memory

@@ -1,0 +1,81 @@
+"""Figure 7(b) and Figure 8: training-data enrichment with wiki graphs.
+
+Enriching the synthetic training set with real-world(-like) wiki graphs
+reduces the replication-factor prediction error for the wiki type; a small
+number of enrichment graphs already helps, and more graphs help more.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import format_table, report
+from repro.ml import RandomForestRegressor
+from repro.ease import EnrichmentStudy, PartitioningQualityPredictor
+from repro.ease import per_type_mape_matrix
+
+ENRICHMENT_SIZES = (0, 3, 6, 9, 12)
+REPETITIONS = 2
+
+
+def _predictor_factory():
+    # A lighter RFR configuration keeps the many retraining runs of the study
+    # affordable; the relative effect of enrichment is unchanged.
+    return PartitioningQualityPredictor(
+        model_factory=lambda target: RandomForestRegressor(
+            n_estimators=25, max_depth=12, min_samples_leaf=2,
+            max_features=0.6, random_state=0))
+
+
+def _run_study(quality_training_records, wiki_enrichment_records,
+               test_quality_records):
+    study = EnrichmentStudy(
+        base_records=quality_training_records.quality,
+        enrichment_records=wiki_enrichment_records.quality,
+        test_records=test_quality_records.quality,
+        predictor_factory=_predictor_factory,
+        metric="replication_factor", seed=3)
+    levels = study.run(enrichment_sizes=ENRICHMENT_SIZES,
+                       repetitions=REPETITIONS)
+    enriched_predictor = study.train_with_enrichment(
+        wiki_enrichment_records.quality)
+    enriched_matrix = per_type_mape_matrix(enriched_predictor,
+                                           test_quality_records.quality,
+                                           metric="replication_factor")
+    return levels, enriched_matrix
+
+
+def test_fig8_enrichment_levels(benchmark, quality_training_records,
+                                wiki_enrichment_records, test_quality_records):
+    levels, enriched_matrix = benchmark.pedantic(
+        _run_study,
+        args=(quality_training_records, wiki_enrichment_records,
+              test_quality_records),
+        rounds=1, iterations=1)
+
+    graph_types = sorted(levels[0].mape_per_type)
+    rows = []
+    for level in levels:
+        rows.append((level.num_enrichment_graphs,
+                     *(level.mape_per_type[t] for t in graph_types),
+                     level.overall_mape))
+    report("fig8_enrichment_curve", format_table(
+        ("#enrichment graphs", *graph_types, "all"), rows,
+        title="Figure 8: replication-factor MAPE per graph type vs number of "
+              "wiki enrichment graphs (mean over repetitions)"))
+
+    partitioners = sorted({key[1] for key in enriched_matrix})
+    heat_rows = []
+    for graph_type in sorted({key[0] for key in enriched_matrix}):
+        heat_rows.append((graph_type, *(enriched_matrix[(graph_type, p)]
+                                        for p in partitioners)))
+    report("fig7b_replication_factor_heatmap_enriched", format_table(
+        ("type", *partitioners), heat_rows,
+        title="Figure 7(b): replication-factor MAPE per (type, partitioner) "
+              "after enrichment with all wiki graphs"))
+
+    # Paper shape: enrichment reduces the wiki error; it should not blow up
+    # the error on the other types by more than a modest factor.
+    wiki_without = levels[0].mape_of("wiki")
+    wiki_with = levels[-1].mape_of("wiki")
+    assert wiki_with <= wiki_without * 1.05
+    assert levels[-1].overall_mape <= levels[0].overall_mape * 1.5

@@ -1,0 +1,90 @@
+"""Figure 9: per-partitioner end-to-end time and the SPS / SSRF picks.
+
+On a wiki-like graph, the end-to-end time (partitioning + processing) of all
+eleven partitioners for (a) the communication-bound Synthetic-High workload,
+where the smallest-replication-factor pick amortises its partitioning time,
+and (b) Connected Components, where a fast streaming partitioner wins and the
+smallest-RF strategy overpays for partitioning.
+"""
+
+import pytest
+
+from _harness import format_table, report
+from repro.generators import generate_realworld_graph
+from repro.partitioning import (
+    ALL_PARTITIONER_NAMES,
+    compute_quality_metrics,
+    create_partitioner,
+)
+from repro.processing import ProcessingEngine, create_algorithm
+from repro.ease import OptimizationGoal, PartitioningCostModel
+
+NUM_PARTITIONS = 4
+SYNTHETIC_ITERATIONS = 10
+
+
+@pytest.fixture(scope="module")
+def wiki_graph():
+    return generate_realworld_graph("wiki", 1500, 12000, seed=17)
+
+
+def _true_end_to_end(graph, algorithm_name):
+    engine = ProcessingEngine()
+    cost_model = PartitioningCostModel()
+    results = {}
+    replication = {}
+    for name in ALL_PARTITIONER_NAMES:
+        partition = create_partitioner(name)(graph, NUM_PARTITIONS)
+        metrics = compute_quality_metrics(partition)
+        replication[name] = metrics.replication_factor
+        kwargs = {}
+        if algorithm_name.startswith("synthetic"):
+            kwargs["num_iterations"] = SYNTHETIC_ITERATIONS
+        processing = engine.run(partition, create_algorithm(algorithm_name,
+                                                            **kwargs))
+        partitioning_seconds = cost_model.estimate_seconds(graph, name,
+                                                           NUM_PARTITIONS)
+        results[name] = (partitioning_seconds, processing.total_seconds,
+                         partitioning_seconds + processing.total_seconds)
+    return results, replication
+
+
+def _experiment(graph, trained_ease, algorithm_name):
+    results, replication = _true_end_to_end(graph, algorithm_name)
+    selection = trained_ease.select_partitioner(
+        graph, algorithm_name, NUM_PARTITIONS,
+        goal=OptimizationGoal.END_TO_END,
+        num_iterations=SYNTHETIC_ITERATIONS)
+    srf_pick = min(replication, key=replication.get)
+    rows = []
+    for name, (part_seconds, proc_seconds, total) in sorted(
+            results.items(), key=lambda item: item[1][2]):
+        marks = []
+        if name == selection.selected:
+            marks.append("SPS")
+        if name == srf_pick:
+            marks.append("SSRF")
+        rows.append((name, part_seconds, proc_seconds, total,
+                     replication[name], "+".join(marks)))
+    return rows, selection.selected, srf_pick, results
+
+
+@pytest.mark.parametrize("algorithm_name", ["synthetic_high",
+                                            "connected_components"])
+def test_fig9_end_to_end_per_partitioner(benchmark, wiki_graph, trained_ease,
+                                         algorithm_name):
+    rows, sps_pick, srf_pick, results = benchmark.pedantic(
+        _experiment, args=(wiki_graph, trained_ease, algorithm_name),
+        rounds=1, iterations=1)
+    report(f"fig9_end_to_end_{algorithm_name}", format_table(
+        ("partitioner", "partitioning (s)", "processing (s)",
+         "end-to-end (s)", "RF", "picked by"), rows,
+        title=f"Figure 9: end-to-end time per partitioner on a wiki-like graph "
+              f"({algorithm_name}); SPS = EASE pick, SSRF = smallest-RF pick"))
+
+    ranked = [row[0] for row in rows]
+    # EASE's pick must land in the better half of the field and never be the
+    # single worst choice.
+    assert ranked.index(sps_pick) < len(ranked) - 1
+    e2e = {row[0]: row[3] for row in rows}
+    assert e2e[sps_pick] <= 1.6 * e2e[ranked[0]]

@@ -1,0 +1,56 @@
+"""Table VII: feature importance of the quality-metric models.
+
+The random-forest feature importances for the five quality targets, with the
+one-hot partitioner columns aggregated into "partitioner" and the two degree
+skewness columns into "degree_distribution", as in the paper.  Expected shape:
+partitioner and number of partitions are highly important everywhere, the
+degree distribution matters most for the balance metrics, the mean degree
+matters for the replication factor, and the density matters for nothing.
+"""
+
+import pytest
+
+from _harness import format_table, report
+from repro.ml import RandomForestRegressor
+from repro.partitioning import QUALITY_METRIC_NAMES
+from repro.ease import PartitioningQualityPredictor
+
+
+def _train_rfr_and_collect(quality_training_records):
+    predictor = PartitioningQualityPredictor(
+        feature_set="basic",
+        model_factory=lambda target: RandomForestRegressor(
+            n_estimators=50, max_depth=14, min_samples_leaf=2,
+            max_features=0.6, random_state=0))
+    predictor.fit(quality_training_records.quality)
+    return {metric: predictor.aggregated_feature_importances(metric)
+            for metric in QUALITY_METRIC_NAMES}
+
+
+def test_table7_feature_importance(benchmark, quality_training_records):
+    importances = benchmark.pedantic(_train_rfr_and_collect,
+                                     args=(quality_training_records,),
+                                     rounds=1, iterations=1)
+
+    feature_groups = ("partitioner", "num_partitions", "mean_degree",
+                      "degree_distribution", "density", "num_edges",
+                      "num_vertices")
+    rows = []
+    for group in feature_groups:
+        rows.append((group, *(importances[metric].get(group, 0.0)
+                              for metric in QUALITY_METRIC_NAMES)))
+    report("table7_feature_importance", format_table(
+        ("feature", *QUALITY_METRIC_NAMES), rows,
+        title="Table VII: aggregated RFR feature importance per quality metric"))
+
+    for metric in QUALITY_METRIC_NAMES:
+        groups = importances[metric]
+        # The partitioner and the number of partitions carry substantial
+        # importance for every quality metric (Table VII: 0.18 - 0.54).
+        assert groups["partitioner"] > 0.05
+        assert groups["num_partitions"] > 0.05
+    # Degree-related information (mean degree and density are strongly
+    # coupled at a fixed vertex count, so the trees may split on either)
+    # matters for the replication factor.
+    rf_groups = importances["replication_factor"]
+    assert rf_groups["mean_degree"] + rf_groups.get("density", 0.0) > 0.05

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Compare EASE's automatic selection against manual strategies (Table VIII).
+
+Trains EASE on synthetic graphs, profiles a small set of "real-world-like"
+evaluation graphs (true processing and partitioning times for every
+partitioner), and compares the time the different selection strategies lead
+to: EASE (SPS), the optimal pick (SO), the smallest-replication-factor pick
+(SSRF), random (SR) and worst (SW).
+
+Run with:  python examples/auto_selection_strategies.py
+"""
+
+from repro.generators import (
+    TABLE2_PARAMETER_COMBINATIONS,
+    generate_realworld_graph,
+    generate_rmat,
+)
+from repro.ease import (
+    EASE,
+    GraphProfiler,
+    OptimizationGoal,
+    SelectionStrategyEvaluator,
+)
+
+
+def main() -> None:
+    partitioners = ("2d", "crvc", "dbh", "hdrf", "2ps", "ne", "hep10", "hep100")
+    algorithms = ("pagerank", "connected_components", "sssp", "synthetic_high")
+    profiler = GraphProfiler(partitioner_names=partitioners,
+                             partition_counts=(4,),
+                             processing_partition_count=4,
+                             algorithms=algorithms)
+
+    print("Training EASE on a synthetic R-MAT corpus ...")
+    training_graphs = []
+    sizes = [(128, 900), (256, 1800), (512, 3600), (768, 5200)]
+    for index, (num_vertices, num_edges) in enumerate(sizes):
+        for combo in (0, 4, 8):
+            training_graphs.append(generate_rmat(
+                num_vertices, num_edges, TABLE2_PARAMETER_COMBINATIONS[combo],
+                seed=7 * index + combo, graph_type="rmat"))
+    ease = EASE(partitioner_names=partitioners).train(
+        profiler.profile(training_graphs, training_graphs))
+
+    print("Profiling evaluation graphs (true costs for every partitioner) ...")
+    evaluation_graphs = [
+        generate_realworld_graph("soc", 500, 3800, seed=21),
+        generate_realworld_graph("web", 600, 4200, seed=22),
+        generate_realworld_graph("wiki", 550, 4000, seed=23),
+    ]
+    evaluation = profiler.profile_processing(evaluation_graphs)
+
+    evaluator = SelectionStrategyEvaluator(ease.selector)
+    comparisons = evaluator.compare(evaluation)
+
+    print("\nAverage time of each strategy's pick, normalised to the optimum "
+          "(lower is better, SO = 1.00):")
+    header = f"  {'goal':11s} {'algorithm':22s}" + "".join(
+        f"{name:>8s}" for name in ("SPS", "SSRF", "SR", "SW"))
+    print(header)
+    for comparison in comparisons:
+        base = comparison.strategy_seconds["SO"]
+        row = (f"  {comparison.goal:11s} {comparison.algorithm:22s}"
+               + "".join(f"{comparison.strategy_seconds[name] / base:8.2f}"
+                         for name in ("SPS", "SSRF", "SR", "SW")))
+        print(row)
+
+    e2e = [c for c in comparisons if c.goal == OptimizationGoal.END_TO_END]
+    picked_best = sum(c.optimal_pick_fraction["SPS"] * c.num_jobs for c in e2e)
+    total_jobs = sum(c.num_jobs for c in e2e)
+    print(f"\nEASE selected the optimal partitioner in "
+          f"{100.0 * picked_best / total_jobs:.1f}% of end-to-end jobs "
+          f"({total_jobs} jobs).")
+
+
+if __name__ == "__main__":
+    main()

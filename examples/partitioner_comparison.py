@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Why partitioner selection matters (Section III of the paper).
+
+Reproduces the motivation experiments at laptop scale:
+
+* PageRank (communication-bound) on two skewed graphs, comparing CRVC, 2D,
+  2PS and NE — better replication factor means faster processing, but the
+  better partitioners cost more partitioning time (Figure 1).
+* Label Propagation (computation-bound) on a social graph, comparing DBH, 2D
+  and NE — vertex balance matters more than replication factor (Figure 2).
+
+Run with:  python examples/partitioner_comparison.py
+"""
+
+from repro.generators import generate_realworld_graph
+from repro.partitioning import compute_quality_metrics, create_partitioner
+from repro.processing import LabelPropagation, PageRank, ProcessingEngine
+from repro.ease import PartitioningCostModel
+
+
+def pagerank_motivation() -> None:
+    print("=== PageRank (communication-bound), Figure 1 analogue ===")
+    graphs = {
+        "friendster-like": generate_realworld_graph("soc", 1500, 12000, seed=1),
+        "sk2005-like": generate_realworld_graph("web", 1500, 14000, seed=2),
+    }
+    partitioners = ("crvc", "2d", "2ps", "ne")
+    cost_model = PartitioningCostModel()
+    engine = ProcessingEngine()
+    for graph_name, graph in graphs.items():
+        print(f"\n  graph: {graph_name}  |V|={graph.num_vertices} |E|={graph.num_edges}")
+        print(f"  {'partitioner':12s} {'RF':>6s} {'part. time (s)':>15s} "
+              f"{'PageRank time (s)':>18s}")
+        for name in partitioners:
+            partition = create_partitioner(name)(graph, 8)
+            metrics = compute_quality_metrics(partition)
+            partitioning_seconds = cost_model.estimate_seconds(graph, name, 8)
+            processing = engine.run(partition, PageRank(num_iterations=20))
+            print(f"  {name:12s} {metrics.replication_factor:6.2f} "
+                  f"{partitioning_seconds:15.4f} {processing.total_seconds:18.4f}")
+
+
+def label_propagation_motivation() -> None:
+    print("\n=== Label Propagation (computation-bound), Figure 2 analogue ===")
+    graph = generate_realworld_graph("soc", 2000, 16000, seed=3)
+    print(f"  graph: socfb-like  |V|={graph.num_vertices} |E|={graph.num_edges}")
+    print(f"  {'partitioner':12s} {'LP time (s)':>12s} {'vertex bal.':>12s} {'RF':>6s}")
+    engine = ProcessingEngine()
+    for name in ("dbh", "2d", "ne"):
+        partition = create_partitioner(name)(graph, 4)
+        metrics = compute_quality_metrics(partition)
+        processing = engine.run(partition, LabelPropagation(num_iterations=10))
+        print(f"  {name:12s} {processing.total_seconds:12.4f} "
+              f"{metrics.vertex_balance:12.2f} {metrics.replication_factor:6.2f}")
+
+
+if __name__ == "__main__":
+    pagerank_motivation()
+    label_propagation_motivation()

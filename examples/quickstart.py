@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: train EASE on generated graphs and auto-select a partitioner.
+
+This walks through the full pipeline of the paper (Figure 3 / Figure 5):
+
+1. generate training graphs with R-MAT,
+2. profile them: partition with every candidate partitioner, measure quality
+   metrics and partitioning time, run the processing workloads,
+3. train the three predictors,
+4. ask EASE which partitioner to use for a new, unseen graph.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.generators import (
+    TABLE2_PARAMETER_COMBINATIONS,
+    generate_realworld_graph,
+    generate_rmat,
+)
+from repro.ease import EASE, GraphProfiler, OptimizationGoal
+
+
+def build_training_corpus():
+    """A small, diverse R-MAT corpus (seconds to generate and profile)."""
+    graphs = []
+    sizes = [(128, 900), (256, 1800), (384, 2700), (512, 3600), (768, 5000)]
+    for index, (num_vertices, num_edges) in enumerate(sizes):
+        for combo in (0, 4, 8):  # three of the nine Table II combinations
+            graphs.append(generate_rmat(
+                num_vertices, num_edges, TABLE2_PARAMETER_COMBINATIONS[combo],
+                seed=13 * index + combo, graph_type="rmat"))
+    return graphs
+
+
+def main() -> None:
+    print("=== 1-2. Generate and profile training graphs ===")
+    training_graphs = build_training_corpus()
+    profiler = GraphProfiler(partition_counts=(4, 8),
+                             processing_partition_count=4)
+    dataset = profiler.profile(training_graphs, training_graphs[:8])
+    print(f"profiled: {dataset.summary()}")
+
+    print("\n=== 3. Train EASE ===")
+    ease = EASE().train(dataset)
+    print("trained quality, partitioning-time and processing-time predictors")
+
+    print("\n=== 4. Select a partitioner for an unseen graph ===")
+    new_graph = generate_realworld_graph("soc", 600, 4500, seed=99)
+    for algorithm in ("pagerank", "connected_components", "synthetic_high"):
+        for goal in (OptimizationGoal.END_TO_END, OptimizationGoal.PROCESSING):
+            result = ease.select_partitioner(new_graph, algorithm,
+                                             num_partitions=4, goal=goal,
+                                             num_iterations=10)
+            best = result.ranking()[0]
+            print(f"  {algorithm:22s} goal={goal:11s} -> {result.selected:7s} "
+                  f"(predicted processing {best.predicted_processing_seconds:.3f}s, "
+                  f"partitioning {best.predicted_partitioning_seconds:.3f}s)")
+
+    print("\nPer-candidate breakdown for PageRank / end-to-end:")
+    result = ease.select_partitioner(new_graph, "pagerank", 4,
+                                     goal=OptimizationGoal.END_TO_END)
+    for score in result.ranking():
+        print(f"  {score.partitioner:7s} e2e={score.predicted_end_to_end_seconds:8.3f}s "
+              f"rf={score.predicted_quality['replication_factor']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on environments without the
+``wheel`` package (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,209 @@
+"""Command-line interface of the EASE reproduction.
+
+Four subcommands mirror the phases of the paper's pipeline (Figure 5):
+
+``generate``
+    Generate a training corpus of R-MAT graphs (Table I / Table II grids,
+    scaled) and store it as ``.npz`` graph files in a directory.
+``profile``
+    Profile a directory of graphs: partition with every candidate partitioner,
+    measure quality metrics and partitioning time, run the processing
+    workloads, and store the resulting dataset.
+``train``
+    Train the EASE predictors from a profiling dataset and store the trained
+    system.
+``select``
+    Load a trained system and select a partitioner for a graph (edge-list or
+    ``.npz``) and workload.
+
+Example session::
+
+    python -m repro.cli generate --output graphs/ --max-graphs 40
+    python -m repro.cli profile --graphs graphs/ --output profile.pkl
+    python -m repro.cli train --profile profile.pkl --output ease.pkl
+    python -m repro.cli select --model ease.pkl --graph my_graph.txt \
+        --algorithm pagerank --partitions 8 --goal end_to_end
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .graph import Graph, load_npz, read_edge_list, save_npz
+from .generators import generate_training_corpus, rmat_small_grid
+from .partitioning import ALL_PARTITIONER_NAMES
+from .processing import ALL_ALGORITHM_NAMES
+from .ease import EASE, GraphProfiler, OptimizationGoal
+from .ease.persistence import load_dataset, load_ease, save_dataset, save_ease
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def _load_graph(path: str) -> Graph:
+    if path.endswith(".npz"):
+        return load_npz(path)
+    return read_edge_list(path)
+
+
+def _load_graph_directory(directory: str) -> List[Graph]:
+    graphs = []
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if name.endswith(".npz") or name.endswith(".txt"):
+            graphs.append(_load_graph(path))
+    if not graphs:
+        raise SystemExit(f"no .npz or .txt graphs found in {directory!r}")
+    return graphs
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def _command_generate(args: argparse.Namespace) -> int:
+    specs = rmat_small_grid(scale=args.scale)
+    if args.step > 1:
+        specs = specs[::args.step]
+    os.makedirs(args.output, exist_ok=True)
+    count = 0
+    for graph in generate_training_corpus(specs, seed=args.seed,
+                                          max_graphs=args.max_graphs):
+        save_npz(graph, os.path.join(args.output, f"{graph.name}.npz"))
+        count += 1
+    print(f"generated {count} training graphs in {args.output}")
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    graphs = _load_graph_directory(args.graphs)
+    profiler = GraphProfiler(
+        partitioner_names=args.partitioners,
+        partition_counts=tuple(args.partition_counts),
+        processing_partition_count=args.processing_partitions,
+        algorithms=args.algorithms,
+        seed=args.seed)
+    dataset = profiler.profile(graphs, graphs)
+    save_dataset(dataset, args.output)
+    print(f"profiled {len(graphs)} graphs -> {dataset.summary()}")
+    print(f"dataset written to {args.output}")
+    return 0
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.profile)
+    system = EASE(feature_set=args.feature_set,
+                  replication_feature_set=args.replication_feature_set)
+    system.train(dataset)
+    save_ease(system, args.output)
+    print(f"trained EASE from {len(dataset.quality)} quality, "
+          f"{len(dataset.partitioning_time)} timing and "
+          f"{len(dataset.processing)} processing records")
+    print(f"model written to {args.output}")
+    return 0
+
+
+def _command_select(args: argparse.Namespace) -> int:
+    system = load_ease(args.model)
+    graph = _load_graph(args.graph)
+    result = system.select_partitioner(graph, algorithm=args.algorithm,
+                                       num_partitions=args.partitions,
+                                       goal=args.goal,
+                                       num_iterations=args.iterations)
+    print(f"graph: {graph.name}  |V|={graph.num_vertices} |E|={graph.num_edges}")
+    print(f"algorithm: {args.algorithm}  k={args.partitions}  goal={args.goal}")
+    print(f"selected partitioner: {result.selected}")
+    print(f"{'partitioner':12s} {'partitioning (s)':>17s} {'processing (s)':>15s} "
+          f"{'end-to-end (s)':>15s}")
+    for score in result.ranking():
+        print(f"{score.partitioner:12s} "
+              f"{score.predicted_partitioning_seconds:17.4f} "
+              f"{score.predicted_processing_seconds:15.4f} "
+              f"{score.predicted_end_to_end_seconds:15.4f}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="EASE: automatic edge partitioner selection (ICDE 2023 "
+                    "reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate an R-MAT training corpus")
+    generate.add_argument("--output", required=True,
+                          help="directory for the generated .npz graphs")
+    generate.add_argument("--scale", type=float, default=1.0 / 50_000,
+                          help="scale factor applied to the Table I grid")
+    generate.add_argument("--step", type=int, default=8,
+                          help="keep every step-th cell of the grid")
+    generate.add_argument("--max-graphs", type=int, default=None,
+                          help="stop after this many graphs")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_command_generate)
+
+    profile = subparsers.add_parser(
+        "profile", help="profile graphs with all partitioners and workloads")
+    profile.add_argument("--graphs", required=True,
+                         help="directory of .npz / edge-list graphs")
+    profile.add_argument("--output", required=True,
+                         help="output path of the profiling dataset (.pkl)")
+    profile.add_argument("--partitioners", nargs="+",
+                         default=list(ALL_PARTITIONER_NAMES),
+                         choices=list(ALL_PARTITIONER_NAMES))
+    profile.add_argument("--algorithms", nargs="+",
+                         default=list(ALL_ALGORITHM_NAMES),
+                         choices=list(ALL_ALGORITHM_NAMES))
+    profile.add_argument("--partition-counts", nargs="+", type=int,
+                         default=[4, 8])
+    profile.add_argument("--processing-partitions", type=int, default=4)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(handler=_command_profile)
+
+    train = subparsers.add_parser("train", help="train EASE from a profile")
+    train.add_argument("--profile", required=True,
+                       help="profiling dataset produced by the profile command")
+    train.add_argument("--output", required=True,
+                       help="output path of the trained model (.pkl)")
+    train.add_argument("--feature-set", default="basic",
+                       choices=["simple", "basic", "advanced"])
+    train.add_argument("--replication-feature-set", default=None,
+                       choices=["simple", "basic", "advanced"])
+    train.set_defaults(handler=_command_train)
+
+    select = subparsers.add_parser(
+        "select", help="select a partitioner for a graph and workload")
+    select.add_argument("--model", required=True,
+                        help="trained model produced by the train command")
+    select.add_argument("--graph", required=True,
+                        help="graph file (.npz or whitespace edge list)")
+    select.add_argument("--algorithm", required=True,
+                        choices=list(ALL_ALGORITHM_NAMES) + ["label_propagation"])
+    select.add_argument("--partitions", type=int, default=4)
+    select.add_argument("--goal", default=OptimizationGoal.END_TO_END,
+                        choices=[OptimizationGoal.END_TO_END,
+                                 OptimizationGoal.PROCESSING])
+    select.add_argument("--iterations", type=int, default=None,
+                        help="number of iterations for fixed-iteration "
+                             "algorithms")
+    select.set_defaults(handler=_command_select)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.cli``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Profiling record types and dataset containers used to train EASE."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph import GraphProperties
+
+__all__ = [
+    "QualityRecord",
+    "PartitioningTimeRecord",
+    "ProcessingRecord",
+    "ProfileDataset",
+]
+
+
+@dataclass
+class QualityRecord:
+    """One (graph, partitioner, k) profiling observation of quality metrics."""
+
+    graph_name: str
+    graph_type: str
+    properties: GraphProperties
+    partitioner: str
+    num_partitions: int
+    metrics: Dict[str, float]
+
+
+@dataclass
+class PartitioningTimeRecord:
+    """One (graph, partitioner, k) observation of partitioning run-time."""
+
+    graph_name: str
+    graph_type: str
+    properties: GraphProperties
+    partitioner: str
+    num_partitions: int
+    seconds: float
+
+
+@dataclass
+class ProcessingRecord:
+    """One (graph, partitioner, algorithm, k) observation of processing time.
+
+    ``target_seconds`` is the prediction target: the average iteration time
+    for fixed-iteration algorithms (PageRank, Label Propagation, Synthetic)
+    and the total time to convergence for the others, as in Section V-C of
+    the paper.
+    """
+
+    graph_name: str
+    graph_type: str
+    properties: GraphProperties
+    partitioner: str
+    num_partitions: int
+    algorithm: str
+    metrics: Dict[str, float]
+    target_seconds: float
+    total_seconds: float
+    num_supersteps: int
+
+
+@dataclass
+class ProfileDataset:
+    """Container bundling the three kinds of profiling records."""
+
+    quality: List[QualityRecord] = field(default_factory=list)
+    partitioning_time: List[PartitioningTimeRecord] = field(default_factory=list)
+    processing: List[ProcessingRecord] = field(default_factory=list)
+
+    def extend(self, other: "ProfileDataset") -> "ProfileDataset":
+        """Append all records of ``other`` (used for training-set enrichment)."""
+        self.quality.extend(other.quality)
+        self.partitioning_time.extend(other.partitioning_time)
+        self.processing.extend(other.processing)
+        return self
+
+    def graph_names(self) -> List[str]:
+        """Names of all graphs appearing in any record."""
+        names = {record.graph_name for record in self.quality}
+        names.update(record.graph_name for record in self.partitioning_time)
+        names.update(record.graph_name for record in self.processing)
+        return sorted(names)
+
+    def filter_quality(self, graph_types: Optional[Sequence[str]] = None,
+                       partitioners: Optional[Sequence[str]] = None
+                       ) -> List[QualityRecord]:
+        """Quality records restricted to the given types/partitioners."""
+        records = self.quality
+        if graph_types is not None:
+            allowed_types = set(graph_types)
+            records = [r for r in records if r.graph_type in allowed_types]
+        if partitioners is not None:
+            allowed_partitioners = set(partitioners)
+            records = [r for r in records if r.partitioner in allowed_partitioners]
+        return list(records)
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts per kind (useful in logs and reports)."""
+        return {
+            "quality_records": len(self.quality),
+            "partitioning_time_records": len(self.partitioning_time),
+            "processing_records": len(self.processing),
+            "graphs": len(self.graph_names()),
+        }

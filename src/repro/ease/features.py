@@ -1,0 +1,182 @@
+"""Feature engineering for the EASE predictors (Table III of the paper).
+
+Three graph-property feature sets are used:
+
+* ``simple``   — |E|, |V|
+* ``basic``    — simple + mean degree, density, in-/out-degree skewness
+* ``advanced`` — basic + mean triangles, mean local clustering coefficient
+
+On top of the graph properties, each predictor adds its task-specific
+features: the partitioner (one-hot) and the number of partitions for the
+quality predictor, the partitioner for the run-time predictor, and the five
+partitioning quality metrics for the processing-time predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import Graph, GraphProperties, compute_properties
+from ..partitioning import QUALITY_METRIC_NAMES
+from ..ml import OneHotEncoder
+
+__all__ = [
+    "FEATURE_SETS",
+    "graph_feature_names",
+    "graph_feature_vector",
+    "QualityFeatureBuilder",
+    "PartitioningTimeFeatureBuilder",
+    "ProcessingTimeFeatureBuilder",
+]
+
+#: Graph-property feature names per feature set (Table III).
+FEATURE_SETS: Dict[str, Tuple[str, ...]] = {
+    "simple": ("num_edges", "num_vertices"),
+    "basic": ("num_edges", "num_vertices", "mean_degree", "density",
+              "in_degree_skewness", "out_degree_skewness"),
+    "advanced": ("num_edges", "num_vertices", "mean_degree", "density",
+                 "in_degree_skewness", "out_degree_skewness",
+                 "mean_triangles", "mean_local_clustering"),
+}
+
+
+def graph_feature_names(feature_set: str) -> Tuple[str, ...]:
+    """Return the graph-property names of a feature set."""
+    try:
+        return FEATURE_SETS[feature_set]
+    except KeyError as error:
+        raise ValueError(f"unknown feature set {feature_set!r}; expected one "
+                         f"of {sorted(FEATURE_SETS)}") from error
+
+
+def graph_feature_vector(properties: GraphProperties,
+                         feature_set: str = "basic") -> np.ndarray:
+    """Graph-property feature vector in the canonical column order."""
+    values = properties.as_dict()
+    return np.array([values[name] for name in graph_feature_names(feature_set)],
+                    dtype=np.float64)
+
+
+class _PartitionerEncoder:
+    """One-hot encoding of partitioner names shared by the feature builders."""
+
+    def __init__(self) -> None:
+        self._encoder: Optional[OneHotEncoder] = None
+
+    def fit(self, partitioner_names: Sequence[str]) -> "_PartitionerEncoder":
+        self._encoder = OneHotEncoder(handle_unknown="ignore")
+        self._encoder.fit(list(partitioner_names))
+        return self
+
+    def transform(self, partitioner_names: Sequence[str]) -> np.ndarray:
+        if self._encoder is None:
+            raise RuntimeError("encoder must be fitted first")
+        return self._encoder.transform(list(partitioner_names))
+
+    @property
+    def categories(self) -> List[str]:
+        if self._encoder is None:
+            raise RuntimeError("encoder must be fitted first")
+        return list(self._encoder.categories_)
+
+
+@dataclass
+class QualityFeatureBuilder:
+    """Features of the PartitioningQualityPredictor.
+
+    Graph properties (basic or advanced) + one-hot partitioner + number of
+    partitions.
+    """
+
+    feature_set: str = "basic"
+
+    def __post_init__(self) -> None:
+        self._partitioner_encoder = _PartitionerEncoder()
+
+    def fit(self, partitioner_names: Sequence[str]) -> "QualityFeatureBuilder":
+        self._partitioner_encoder.fit(partitioner_names)
+        return self
+
+    def feature_names(self) -> List[str]:
+        names = list(graph_feature_names(self.feature_set))
+        names.append("num_partitions")
+        names.extend(f"partitioner={name}"
+                     for name in self._partitioner_encoder.categories)
+        return names
+
+    def build(self, properties: Sequence[GraphProperties],
+              partitioner_names: Sequence[str],
+              partition_counts: Sequence[int]) -> np.ndarray:
+        graph_features = np.vstack([
+            graph_feature_vector(props, self.feature_set)
+            for props in properties])
+        partitioner_features = self._partitioner_encoder.transform(partitioner_names)
+        k_column = np.asarray(partition_counts, dtype=np.float64).reshape(-1, 1)
+        return np.hstack([graph_features, k_column, partitioner_features])
+
+
+@dataclass
+class PartitioningTimeFeatureBuilder:
+    """Features of the PartitioningTimePredictor.
+
+    Graph properties (all sets are candidates; the advanced set is the
+    default because partitioner behaviour such as HEP's in-memory/streaming
+    split depends on the degree structure) + one-hot partitioner.
+    """
+
+    feature_set: str = "advanced"
+
+    def __post_init__(self) -> None:
+        self._partitioner_encoder = _PartitionerEncoder()
+
+    def fit(self, partitioner_names: Sequence[str]) -> "PartitioningTimeFeatureBuilder":
+        self._partitioner_encoder.fit(partitioner_names)
+        return self
+
+    def feature_names(self) -> List[str]:
+        names = list(graph_feature_names(self.feature_set))
+        names.extend(f"partitioner={name}"
+                     for name in self._partitioner_encoder.categories)
+        return names
+
+    def build(self, properties: Sequence[GraphProperties],
+              partitioner_names: Sequence[str]) -> np.ndarray:
+        graph_features = np.vstack([
+            graph_feature_vector(props, self.feature_set)
+            for props in properties])
+        partitioner_features = self._partitioner_encoder.transform(partitioner_names)
+        return np.hstack([graph_features, partitioner_features])
+
+
+@dataclass
+class ProcessingTimeFeatureBuilder:
+    """Features of the ProcessingTimePredictor.
+
+    Simple graph properties (|E|, |V|) + the five partitioning quality
+    metrics + the number of partitions.  The partitioner identity is *not* a
+    feature (design choice of Section IV-E: new partitioners can be added
+    without retraining the processing model).
+    """
+
+    feature_set: str = "simple"
+
+    def feature_names(self) -> List[str]:
+        names = list(graph_feature_names(self.feature_set))
+        names.append("num_partitions")
+        names.extend(QUALITY_METRIC_NAMES)
+        return names
+
+    def build(self, properties: Sequence[GraphProperties],
+              partition_counts: Sequence[int],
+              quality_metrics: Sequence[Dict[str, float]]) -> np.ndarray:
+        graph_features = np.vstack([
+            graph_feature_vector(props, self.feature_set)
+            for props in properties])
+        k_column = np.asarray(partition_counts, dtype=np.float64).reshape(-1, 1)
+        metric_matrix = np.array([
+            [metrics[name] for name in QUALITY_METRIC_NAMES]
+            for metrics in quality_metrics], dtype=np.float64)
+        return np.hstack([graph_features, k_column, metric_matrix])

@@ -1,0 +1,72 @@
+"""Saving and loading trained EASE systems and profiling datasets.
+
+Profiling and training are the expensive phases of the EASE pipeline
+(Figure 5); persisting their outputs lets a trained selector be shipped to the
+machines that submit graph processing jobs, where inference only needs the
+graph features of the new graph.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Union
+
+from .dataset import ProfileDataset
+from .pipeline import EASE
+
+__all__ = ["save_ease", "load_ease", "save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def _save(obj, path: str, kind: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    payload = {"format_version": _FORMAT_VERSION, "kind": kind, "object": obj}
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)
+
+
+def _load(path: str, kind: str):
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or "object" not in payload:
+        raise ValueError(f"{path!r} is not an EASE persistence file")
+    if payload.get("kind") != kind:
+        raise ValueError(f"{path!r} contains a {payload.get('kind')!r}, "
+                         f"expected a {kind!r}")
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version "
+                         f"{payload.get('format_version')!r}")
+    return payload["object"]
+
+
+def save_ease(system: EASE, path: str) -> None:
+    """Persist a trained EASE system (predictors + selector) to ``path``."""
+    if not isinstance(system, EASE):
+        raise TypeError("save_ease expects an EASE instance")
+    _save(system, path, kind="ease")
+
+
+def load_ease(path: str) -> EASE:
+    """Load an EASE system previously stored with :func:`save_ease`."""
+    system = _load(path, kind="ease")
+    if not isinstance(system, EASE):
+        raise ValueError(f"{path!r} does not contain an EASE system")
+    return system
+
+
+def save_dataset(dataset: ProfileDataset, path: str) -> None:
+    """Persist a profiling dataset to ``path``."""
+    if not isinstance(dataset, ProfileDataset):
+        raise TypeError("save_dataset expects a ProfileDataset instance")
+    _save(dataset, path, kind="profile_dataset")
+
+
+def load_dataset(path: str) -> ProfileDataset:
+    """Load a profiling dataset previously stored with :func:`save_dataset`."""
+    dataset = _load(path, kind="profile_dataset")
+    if not isinstance(dataset, ProfileDataset):
+        raise ValueError(f"{path!r} does not contain a ProfileDataset")
+    return dataset

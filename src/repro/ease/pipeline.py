@@ -1,0 +1,130 @@
+"""The EASE facade: train the three predictors and select partitioners.
+
+This is the public entry point most users need:
+
+>>> from repro.ease import EASE
+>>> ease = EASE.train_from_graphs(training_graphs, processing_graphs)
+>>> result = ease.select_partitioner(my_graph, algorithm="pagerank",
+...                                  num_partitions=8, goal="end_to_end")
+>>> result.selected
+'hep100'
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..graph import Graph, GraphProperties
+from ..partitioning import ALL_PARTITIONER_NAMES, PartitionQualityMetrics
+from .dataset import ProfileDataset
+from .partitioning_time_predictor import PartitioningTimePredictor
+from .processing_time_predictor import ProcessingTimePredictor
+from .profiling import GraphProfiler
+from .quality_predictor import PartitioningQualityPredictor
+from .selector import OptimizationGoal, PartitionerSelector, SelectionResult
+
+__all__ = ["EASE"]
+
+
+class EASE:
+    """Edge pArtitioner SElection: the end-to-end system of the paper.
+
+    The four components (Figure 4) are the quality predictor, the two
+    run-time predictors and the partitioner selector built on top of them.
+
+    Parameters
+    ----------
+    partitioner_names:
+        Candidate partitioners the selector chooses between.
+    feature_set:
+        Graph-property feature set of the quality predictor.
+    replication_feature_set:
+        Optional different feature set for the replication-factor model
+        (``"advanced"`` enables the triangle/clustering features).
+    random_state:
+        Seed for all default models.
+    """
+
+    def __init__(self, partitioner_names: Sequence[str] = ALL_PARTITIONER_NAMES,
+                 feature_set: str = "basic",
+                 replication_feature_set: Optional[str] = None,
+                 random_state: int = 0) -> None:
+        self.partitioner_names = list(partitioner_names)
+        self.quality_predictor = PartitioningQualityPredictor(
+            feature_set=feature_set,
+            replication_feature_set=replication_feature_set,
+            random_state=random_state)
+        self.partitioning_time_predictor = PartitioningTimePredictor(
+            random_state=random_state)
+        self.processing_time_predictor = ProcessingTimePredictor(
+            random_state=random_state)
+        self._selector: Optional[PartitionerSelector] = None
+
+    # ------------------------------------------------------------------ #
+    def train(self, dataset: ProfileDataset) -> "EASE":
+        """Train all three predictors from a profiling dataset."""
+        if dataset.quality:
+            self.quality_predictor.fit(dataset.quality)
+        if dataset.partitioning_time:
+            self.partitioning_time_predictor.fit(dataset.partitioning_time)
+        if dataset.processing:
+            self.processing_time_predictor.fit(dataset.processing)
+        self._selector = PartitionerSelector(
+            self.quality_predictor, self.partitioning_time_predictor,
+            self.processing_time_predictor,
+            partitioner_names=self.partitioner_names)
+        return self
+
+    @classmethod
+    def train_from_graphs(cls, quality_graphs: Iterable[Graph],
+                          processing_graphs: Iterable[Graph],
+                          profiler: Optional[GraphProfiler] = None,
+                          **kwargs) -> "EASE":
+        """Profile the given graphs (Figure 5, steps 1-3) and train (step 4)."""
+        profiler = profiler or GraphProfiler()
+        system = cls(partitioner_names=profiler.partitioner_names, **kwargs)
+        dataset = profiler.profile(quality_graphs, processing_graphs)
+        return system.train(dataset)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def selector(self) -> PartitionerSelector:
+        if self._selector is None:
+            raise RuntimeError("EASE must be trained before use")
+        return self._selector
+
+    def predict_quality(self, graph: Union[Graph, GraphProperties],
+                        partitioner: str,
+                        num_partitions: int) -> PartitionQualityMetrics:
+        """Predict the partitioning quality metrics of one partitioner."""
+        properties = self.selector._resolve_properties(graph)
+        return self.quality_predictor.predict(properties, partitioner,
+                                              num_partitions)
+
+    def predict_partitioning_seconds(self, graph: Union[Graph, GraphProperties],
+                                     partitioner: str) -> float:
+        """Predict the partitioning run-time of one partitioner."""
+        properties = self.selector._resolve_properties(graph)
+        return self.partitioning_time_predictor.predict_one(properties,
+                                                            partitioner)
+
+    def predict_processing_seconds(self, graph: Union[Graph, GraphProperties],
+                                   partitioner: str, algorithm: str,
+                                   num_partitions: int,
+                                   num_iterations: Optional[int] = None) -> float:
+        """Predict the processing run-time with one partitioner."""
+        properties = self.selector._resolve_properties(graph)
+        quality = self.quality_predictor.predict(properties, partitioner,
+                                                 num_partitions)
+        return self.processing_time_predictor.predict_total_seconds(
+            algorithm, properties, num_partitions, quality.as_dict(),
+            num_iterations=num_iterations)
+
+    def select_partitioner(self, graph: Union[Graph, GraphProperties],
+                           algorithm: str, num_partitions: int,
+                           goal: str = OptimizationGoal.END_TO_END,
+                           num_iterations: Optional[int] = None
+                           ) -> SelectionResult:
+        """Automatically select a partitioner for a processing job."""
+        return self.selector.select(graph, algorithm, num_partitions,
+                                    goal=goal, num_iterations=num_iterations)

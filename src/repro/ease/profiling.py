@@ -1,0 +1,195 @@
+"""Profiling pipeline: steps 2 and 3 of the EASE training phase (Figure 5).
+
+Given a set of graphs, the profiler partitions each graph with every candidate
+partitioner, measures the partitioning quality metrics and partitioning
+run-time, executes the graph processing workloads on the partitioned graphs in
+the simulator and records the processing run-times.  The resulting
+:class:`~repro.ease.dataset.ProfileDataset` is the training (or evaluation)
+data of the three predictors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph import Graph, GraphProperties, compute_properties
+from ..partitioning import (
+    ALL_PARTITIONER_NAMES,
+    compute_quality_metrics,
+    create_partitioner,
+)
+from ..processing import (
+    ALL_ALGORITHM_NAMES,
+    ClusterSpec,
+    ProcessingEngine,
+    VertexCentricAlgorithm,
+    create_algorithm,
+)
+from .dataset import (
+    PartitioningTimeRecord,
+    ProcessingRecord,
+    ProfileDataset,
+    QualityRecord,
+)
+from .partitioning_cost import (
+    PartitioningCostModel,
+    measure_wall_clock_partitioning_time,
+)
+
+__all__ = ["GraphProfiler"]
+
+#: Algorithms whose prediction target is the average iteration time (their
+#: per-iteration load is constant and the iteration count is a parameter).
+_AVERAGE_ITERATION_ALGORITHMS = frozenset(
+    {"pagerank", "label_propagation", "synthetic_low", "synthetic_high"})
+
+
+class GraphProfiler:
+    """Profiles graphs against partitioners and processing workloads.
+
+    Parameters
+    ----------
+    partitioner_names:
+        Candidate partitioners (default: the paper's eleven).
+    partition_counts:
+        Values of ``k`` profiled for the quality predictor (the paper uses
+        {4, 8, 16, 32, 64, 128}; the laptop-scale default is smaller).
+    processing_partition_count:
+        The single ``k`` used for run-time profiling (the paper uses 4).
+    algorithms:
+        Algorithm names profiled for the processing-time predictor.
+    cluster:
+        Simulated cluster; ``None`` sizes it to the partition count.
+    partitioning_time_mode:
+        ``"model"`` uses the analytic :class:`PartitioningCostModel`
+        (deterministic, recommended), ``"wall_clock"`` measures the Python
+        implementations.
+    exact_triangles:
+        Whether graph properties use exact triangle counting (slower) or the
+        sampled estimate.
+    seed:
+        Seed forwarded to partitioners and algorithms.
+    """
+
+    def __init__(self,
+                 partitioner_names: Sequence[str] = ALL_PARTITIONER_NAMES,
+                 partition_counts: Sequence[int] = (4, 8, 16),
+                 processing_partition_count: int = 4,
+                 algorithms: Sequence[str] = ALL_ALGORITHM_NAMES,
+                 cluster: Optional[ClusterSpec] = None,
+                 partitioning_time_mode: str = "model",
+                 exact_triangles: bool = False,
+                 seed: int = 0) -> None:
+        if partitioning_time_mode not in ("model", "wall_clock"):
+            raise ValueError("partitioning_time_mode must be 'model' or "
+                             "'wall_clock'")
+        self.partitioner_names = list(partitioner_names)
+        self.partition_counts = list(partition_counts)
+        self.processing_partition_count = processing_partition_count
+        self.algorithm_names = list(algorithms)
+        self.cluster = cluster
+        self.partitioning_time_mode = partitioning_time_mode
+        self.exact_triangles = exact_triangles
+        self.seed = seed
+        self._cost_model = PartitioningCostModel()
+        self._engine = ProcessingEngine(cluster)
+
+    # ------------------------------------------------------------------ #
+    def graph_properties(self, graph: Graph) -> GraphProperties:
+        """Graph properties with the profiler's triangle-counting settings."""
+        return compute_properties(graph, exact_triangles=self.exact_triangles,
+                                  seed=self.seed)
+
+    def _partitioning_seconds(self, graph: Graph, partitioner_name: str,
+                              num_partitions: int) -> float:
+        if self.partitioning_time_mode == "wall_clock":
+            return measure_wall_clock_partitioning_time(
+                graph, partitioner_name, num_partitions, seed=self.seed)
+        return self._cost_model.estimate_seconds(graph, partitioner_name,
+                                                 num_partitions)
+
+    # ------------------------------------------------------------------ #
+    def profile_quality(self, graphs: Iterable[Graph],
+                        progress: Optional[callable] = None) -> ProfileDataset:
+        """Partition every graph with every partitioner and ``k``; record the
+        quality metrics and partitioning run-times."""
+        dataset = ProfileDataset()
+        for graph in graphs:
+            properties = self.graph_properties(graph)
+            for partitioner_name in self.partitioner_names:
+                partitioner = create_partitioner(partitioner_name, seed=self.seed)
+                for k in self.partition_counts:
+                    partition = partitioner(graph, k)
+                    metrics = compute_quality_metrics(partition).as_dict()
+                    dataset.quality.append(QualityRecord(
+                        graph_name=graph.name, graph_type=graph.graph_type,
+                        properties=properties, partitioner=partitioner_name,
+                        num_partitions=k, metrics=metrics))
+                    dataset.partitioning_time.append(PartitioningTimeRecord(
+                        graph_name=graph.name, graph_type=graph.graph_type,
+                        properties=properties, partitioner=partitioner_name,
+                        num_partitions=k,
+                        seconds=self._partitioning_seconds(graph,
+                                                           partitioner_name, k)))
+                if progress is not None:
+                    progress(graph.name, partitioner_name)
+        return dataset
+
+    def profile_processing(self, graphs: Iterable[Graph],
+                           progress: Optional[callable] = None) -> ProfileDataset:
+        """Partition every graph (at the processing ``k``), run every workload
+        and record processing run-times along with quality metrics and
+        partitioning run-times."""
+        dataset = ProfileDataset()
+        k = self.processing_partition_count
+        for graph in graphs:
+            properties = self.graph_properties(graph)
+            for partitioner_name in self.partitioner_names:
+                partitioner = create_partitioner(partitioner_name, seed=self.seed)
+                partition = partitioner(graph, k)
+                metrics = compute_quality_metrics(partition).as_dict()
+                partitioning_seconds = self._partitioning_seconds(
+                    graph, partitioner_name, k)
+                dataset.quality.append(QualityRecord(
+                    graph_name=graph.name, graph_type=graph.graph_type,
+                    properties=properties, partitioner=partitioner_name,
+                    num_partitions=k, metrics=metrics))
+                dataset.partitioning_time.append(PartitioningTimeRecord(
+                    graph_name=graph.name, graph_type=graph.graph_type,
+                    properties=properties, partitioner=partitioner_name,
+                    num_partitions=k, seconds=partitioning_seconds))
+                for algorithm_name in self.algorithm_names:
+                    algorithm = create_algorithm(algorithm_name, seed=self.seed)
+                    result = self._engine.run(partition, algorithm)
+                    dataset.processing.append(ProcessingRecord(
+                        graph_name=graph.name, graph_type=graph.graph_type,
+                        properties=properties, partitioner=partitioner_name,
+                        num_partitions=k, algorithm=algorithm_name,
+                        metrics=metrics,
+                        target_seconds=self._target_seconds(algorithm_name, result),
+                        total_seconds=result.total_seconds,
+                        num_supersteps=result.num_supersteps))
+                if progress is not None:
+                    progress(graph.name, partitioner_name)
+        return dataset
+
+    def profile(self, quality_graphs: Iterable[Graph],
+                processing_graphs: Iterable[Graph]) -> ProfileDataset:
+        """Full profiling: quality grid on one corpus, processing on another.
+
+        Mirrors the paper's setup where the (smaller) R-MAT-SMALL corpus feeds
+        PartitioningQualityPredictor and the (larger) R-MAT-LARGE corpus feeds
+        the two run-time predictors.
+        """
+        dataset = self.profile_quality(quality_graphs)
+        dataset.extend(self.profile_processing(processing_graphs))
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _target_seconds(algorithm_name: str, result) -> float:
+        if algorithm_name in _AVERAGE_ITERATION_ALGORITHMS:
+            return result.average_iteration_seconds
+        return result.total_seconds

@@ -1,0 +1,140 @@
+"""PartitionerSelector: the automatic partitioner selection of EASE.
+
+Given the three trained predictors, the selector scores every candidate
+partitioner for a (graph, algorithm, k) job and returns the one minimising the
+chosen objective: graph processing time only, or end-to-end time (partitioning
+plus processing) — the two optimisation goals of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..graph import Graph, GraphProperties, compute_properties
+from ..partitioning import ALL_PARTITIONER_NAMES
+from .partitioning_time_predictor import PartitioningTimePredictor
+from .processing_time_predictor import ProcessingTimePredictor
+from .quality_predictor import PartitioningQualityPredictor
+
+__all__ = ["OptimizationGoal", "PartitionerScore", "SelectionResult",
+           "PartitionerSelector"]
+
+
+class OptimizationGoal:
+    """The two optimisation goals supported by EASE."""
+
+    END_TO_END = "end_to_end"
+    PROCESSING = "processing"
+
+    _ALL = (END_TO_END, PROCESSING)
+
+    @classmethod
+    def validate(cls, goal: str) -> str:
+        if goal not in cls._ALL:
+            raise ValueError(f"unknown optimisation goal {goal!r}; expected "
+                             f"one of {cls._ALL}")
+        return goal
+
+
+@dataclass
+class PartitionerScore:
+    """Predicted costs of one candidate partitioner."""
+
+    partitioner: str
+    predicted_partitioning_seconds: float
+    predicted_processing_seconds: float
+    predicted_quality: Dict[str, float]
+
+    @property
+    def predicted_end_to_end_seconds(self) -> float:
+        return (self.predicted_partitioning_seconds
+                + self.predicted_processing_seconds)
+
+    def objective(self, goal: str) -> float:
+        if goal == OptimizationGoal.PROCESSING:
+            return self.predicted_processing_seconds
+        return self.predicted_end_to_end_seconds
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a selection: the winner plus the full per-candidate scores."""
+
+    selected: str
+    goal: str
+    algorithm: str
+    num_partitions: int
+    scores: List[PartitionerScore] = field(default_factory=list)
+
+    def ranking(self) -> List[PartitionerScore]:
+        """Candidates sorted from best to worst under the selection goal."""
+        return sorted(self.scores, key=lambda score: score.objective(self.goal))
+
+    def score_of(self, partitioner: str) -> PartitionerScore:
+        for score in self.scores:
+            if score.partitioner == partitioner:
+                return score
+        raise KeyError(partitioner)
+
+
+class PartitionerSelector:
+    """Automatic partitioner selection from the three EASE predictors.
+
+    Parameters
+    ----------
+    quality_predictor, partitioning_time_predictor, processing_time_predictor:
+        Trained predictors.
+    partitioner_names:
+        Candidate partitioners (default: the paper's eleven).
+    """
+
+    def __init__(self, quality_predictor: PartitioningQualityPredictor,
+                 partitioning_time_predictor: PartitioningTimePredictor,
+                 processing_time_predictor: ProcessingTimePredictor,
+                 partitioner_names: Sequence[str] = ALL_PARTITIONER_NAMES) -> None:
+        self.quality_predictor = quality_predictor
+        self.partitioning_time_predictor = partitioning_time_predictor
+        self.processing_time_predictor = processing_time_predictor
+        self.partitioner_names = list(partitioner_names)
+
+    # ------------------------------------------------------------------ #
+    def _resolve_properties(self, graph: Union[Graph, GraphProperties]
+                            ) -> GraphProperties:
+        if isinstance(graph, GraphProperties):
+            return graph
+        return compute_properties(graph, exact_triangles=False)
+
+    def score_partitioners(self, graph: Union[Graph, GraphProperties],
+                           algorithm: str, num_partitions: int,
+                           num_iterations: Optional[int] = None
+                           ) -> List[PartitionerScore]:
+        """Predict costs for every candidate partitioner."""
+        properties = self._resolve_properties(graph)
+        scores = []
+        for partitioner in self.partitioner_names:
+            quality = self.quality_predictor.predict(properties, partitioner,
+                                                     num_partitions)
+            partitioning_seconds = self.partitioning_time_predictor.predict_one(
+                properties, partitioner)
+            processing_seconds = self.processing_time_predictor.predict_total_seconds(
+                algorithm, properties, num_partitions, quality.as_dict(),
+                num_iterations=num_iterations)
+            scores.append(PartitionerScore(
+                partitioner=partitioner,
+                predicted_partitioning_seconds=partitioning_seconds,
+                predicted_processing_seconds=processing_seconds,
+                predicted_quality=quality.as_dict()))
+        return scores
+
+    def select(self, graph: Union[Graph, GraphProperties], algorithm: str,
+               num_partitions: int, goal: str = OptimizationGoal.END_TO_END,
+               num_iterations: Optional[int] = None) -> SelectionResult:
+        """Select the partitioner minimising the chosen objective."""
+        OptimizationGoal.validate(goal)
+        scores = self.score_partitioners(graph, algorithm, num_partitions,
+                                         num_iterations=num_iterations)
+        best = min(scores, key=lambda score: score.objective(goal))
+        return SelectionResult(selected=best.partitioner, goal=goal,
+                               algorithm=algorithm,
+                               num_partitions=num_partitions, scores=scores)

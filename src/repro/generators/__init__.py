@@ -1,0 +1,37 @@
+"""Graph generators: R-MAT, Barabási–Albert, Erdős–Rényi and real-world-like
+families, plus the Table I / Table II training grids."""
+
+from .rmat import RMATParameters, generate_rmat
+from .barabasi_albert import generate_barabasi_albert
+from .erdos_renyi import generate_erdos_renyi
+from .realworld import (
+    GRAPH_TYPES,
+    TEST_SET_COMPOSITION,
+    generate_realworld_graph,
+    generate_test_catalogue,
+    generate_large_test_graphs,
+)
+from .configs import (
+    TABLE2_PARAMETER_COMBINATIONS,
+    RMATGridSpec,
+    rmat_small_grid,
+    rmat_large_grid,
+    generate_training_corpus,
+)
+
+__all__ = [
+    "RMATParameters",
+    "generate_rmat",
+    "generate_barabasi_albert",
+    "generate_erdos_renyi",
+    "GRAPH_TYPES",
+    "TEST_SET_COMPOSITION",
+    "generate_realworld_graph",
+    "generate_test_catalogue",
+    "generate_large_test_graphs",
+    "TABLE2_PARAMETER_COMBINATIONS",
+    "RMATGridSpec",
+    "rmat_small_grid",
+    "rmat_large_grid",
+    "generate_training_corpus",
+]

@@ -1,0 +1,132 @@
+"""Training-corpus configuration grids (Tables I and II of the paper).
+
+The paper trains PartitioningQualityPredictor on 297 "R-MAT-SMALL" graphs
+(1 M – 200 M edges) and PartitioningTimePredictor / ProcessingTimePredictor on
+180 "R-MAT-LARGE" graphs (100 M – 500 M edges).  Both grids combine a set of
+(|E|, |V|) pairs with the nine (a, b, c, d) parameter combinations of
+Table II.
+
+Absolute sizes of that magnitude are not generatable (or partitionable) on a
+laptop, so the grids here keep the *structure* of the tables — the same
+|E|/|V| ratios, the same nine (a, b, c, d) combinations — scaled down by a
+configurable factor (DESIGN.md §3).  The property spread that the predictors
+learn from (mean degree, skew, clustering) is preserved because it is driven
+by the ratios and the quadrant probabilities, not by the absolute sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..graph import Graph
+from .rmat import RMATParameters, generate_rmat
+
+__all__ = [
+    "TABLE2_PARAMETER_COMBINATIONS",
+    "RMATGridSpec",
+    "rmat_small_grid",
+    "rmat_large_grid",
+    "generate_training_corpus",
+]
+
+#: The nine (a, b, c, d) combinations of Table II.
+TABLE2_PARAMETER_COMBINATIONS: Tuple[RMATParameters, ...] = (
+    RMATParameters(0.35, 0.26, 0.34, 0.05),
+    RMATParameters(0.45, 0.16, 0.34, 0.05),
+    RMATParameters(0.55, 0.06, 0.34, 0.05),
+    RMATParameters(0.60, 0.01, 0.34, 0.05),
+    RMATParameters(0.40, 0.36, 0.19, 0.05),
+    RMATParameters(0.50, 0.26, 0.19, 0.05),
+    RMATParameters(0.60, 0.16, 0.19, 0.05),
+    RMATParameters(0.65, 0.11, 0.19, 0.05),
+    RMATParameters(0.70, 0.06, 0.19, 0.05),
+)
+
+#: Table I(a): (|E| in millions, list of log2 |V|) for R-MAT-SMALL.
+_TABLE1A_ROWS: Tuple[Tuple[float, Tuple[int, ...]], ...] = (
+    (1, (15, 16, 17, 18, 19)),
+    (40, (21, 22, 23, 24, 25)),
+    (80, (21, 22, 23, 24, 25, 26)),
+    (120, (22, 23, 24, 25, 26)),
+    (160, (22, 23, 24, 25, 26, 27)),
+    (200, (22, 23, 24, 25, 26, 27)),
+)
+
+#: Table I(b): (|E| in millions, |V| in millions) for R-MAT-LARGE.
+_TABLE1B_ROWS: Tuple[Tuple[float, Tuple[float, ...]], ...] = (
+    (100, (1.8, 2.5, 4, 10)),
+    (200, (3.6, 5, 8, 20)),
+    (300, (5.4, 7.5, 12, 30)),
+    (400, (7.3, 10, 16, 40)),
+    (500, (9.1, 12.5, 20, 50)),
+)
+
+
+@dataclass(frozen=True)
+class RMATGridSpec:
+    """One (|V|, |E|, parameters) cell of a training grid."""
+
+    num_vertices: int
+    num_edges: int
+    parameters: RMATParameters
+    combination_index: int
+
+
+def _scaled(value: float, scale: float, minimum: int) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def rmat_small_grid(scale: float = 1.0 / 20_000,
+                    combinations: Sequence[RMATParameters] = TABLE2_PARAMETER_COMBINATIONS,
+                    ) -> List[RMATGridSpec]:
+    """The R-MAT-SMALL grid of Table I(a), scaled down.
+
+    At the default scale the largest graphs have roughly 10 k edges, so the
+    full 297-cell grid can be generated and partitioned in minutes.
+    """
+    specs: List[RMATGridSpec] = []
+    for edges_millions, log_vertices in _TABLE1A_ROWS:
+        for log_v in log_vertices:
+            num_edges = _scaled(edges_millions * 1e6, scale, 200)
+            num_vertices = _scaled(2 ** log_v, scale * 40, 32)
+            num_vertices = min(num_vertices, num_edges)
+            for index, params in enumerate(combinations):
+                specs.append(RMATGridSpec(num_vertices, num_edges, params,
+                                          index))
+    return specs
+
+
+def rmat_large_grid(scale: float = 1.0 / 20_000,
+                    combinations: Sequence[RMATParameters] = TABLE2_PARAMETER_COMBINATIONS,
+                    ) -> List[RMATGridSpec]:
+    """The R-MAT-LARGE grid of Table I(b), scaled down."""
+    specs: List[RMATGridSpec] = []
+    for edges_millions, vertices_millions in _TABLE1B_ROWS:
+        for v_millions in vertices_millions:
+            num_edges = _scaled(edges_millions * 1e6, scale, 500)
+            num_vertices = _scaled(v_millions * 1e6, scale * 4, 64)
+            num_vertices = min(num_vertices, num_edges)
+            for index, params in enumerate(combinations):
+                specs.append(RMATGridSpec(num_vertices, num_edges, params,
+                                          index))
+    return specs
+
+
+def generate_training_corpus(specs: Sequence[RMATGridSpec], seed: int = 0,
+                             max_graphs: int = None) -> Iterator[Graph]:
+    """Yield the training graphs for a grid of specifications.
+
+    Each cell gets a deterministic seed derived from the base ``seed`` so the
+    corpus is reproducible.  ``max_graphs`` truncates the grid, which keeps the
+    test suite fast while the benchmarks use the full grid.
+    """
+    for index, spec in enumerate(specs):
+        if max_graphs is not None and index >= max_graphs:
+            return
+        graph = generate_rmat(
+            spec.num_vertices, spec.num_edges, spec.parameters,
+            seed=seed + index, graph_type="rmat",
+            name=(f"rmat-small-{index}-n{spec.num_vertices}"
+                  f"-m{spec.num_edges}-c{spec.combination_index + 1}"))
+        yield graph

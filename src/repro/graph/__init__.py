@@ -1,0 +1,29 @@
+"""Graph substrate: data structure, properties and I/O."""
+
+from .graph import Graph, CSRAdjacency
+from .properties import (
+    GraphProperties,
+    compute_properties,
+    density,
+    mean_degree,
+    pearson_skewness,
+    triangle_counts,
+    local_clustering_coefficients,
+)
+from .io import read_edge_list, write_edge_list, save_npz, load_npz
+
+__all__ = [
+    "Graph",
+    "CSRAdjacency",
+    "GraphProperties",
+    "compute_properties",
+    "density",
+    "mean_degree",
+    "pearson_skewness",
+    "triangle_counts",
+    "local_clustering_coefficients",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+]

@@ -1,0 +1,230 @@
+"""Graph property computation (Section II-B of the EASE paper).
+
+The properties computed here form the feature sets of the EASE predictors
+(Table III):
+
+* ``simple``   — number of edges, number of vertices;
+* ``basic``    — simple + mean degree, density, skewness of the in-degree and
+  out-degree distributions;
+* ``advanced`` — basic + mean number of triangles and mean local clustering
+  coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "GraphProperties",
+    "compute_properties",
+    "density",
+    "mean_degree",
+    "pearson_skewness",
+    "triangle_counts",
+    "local_clustering_coefficients",
+]
+
+
+def density(graph: Graph) -> float:
+    """Directed density ``|E| / (|V| * (|V| - 1))``."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1))
+
+
+def mean_degree(graph: Graph) -> float:
+    """Mean (undirected) degree ``2 |E| / |V|``."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_vertices
+
+
+def pearson_skewness(values: np.ndarray) -> float:
+    """Pearson's first skewness coefficient ``(mean - mode) / std``.
+
+    The mode of a degree distribution is the most frequent value.  A standard
+    deviation of zero (constant distribution) yields a skewness of zero.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0.0
+    std = float(values.std())
+    if std == 0.0:
+        return 0.0
+    counts = np.bincount(values.astype(np.int64))
+    mode = int(np.argmax(counts))
+    return float((values.mean() - mode) / std)
+
+
+def _undirected_neighbor_sets(graph: Graph):
+    """Sorted, deduplicated undirected neighbour array per vertex."""
+    adj = graph.undirected_adjacency()
+    neighbor_sets = []
+    for v in range(graph.num_vertices):
+        neigh = adj.neighbors(v)
+        neigh = np.unique(neigh)
+        neigh = neigh[neigh != v]
+        neighbor_sets.append(neigh)
+    return neighbor_sets
+
+
+def triangle_counts(graph: Graph) -> np.ndarray:
+    """Number of triangles incident to each vertex (undirected view).
+
+    A triangle is a set of three vertices that are pairwise connected,
+    ignoring edge direction and multiplicity.
+    """
+    neighbor_sets = _undirected_neighbor_sets(graph)
+    counts = np.zeros(graph.num_vertices, dtype=np.int64)
+    for v in range(graph.num_vertices):
+        neigh_v = neighbor_sets[v]
+        # Only count each triangle once per vertex pair by restricting to
+        # higher-id neighbours, then attribute it to all three members below.
+        for u in neigh_v[neigh_v > v]:
+            common = np.intersect1d(neigh_v, neighbor_sets[u],
+                                    assume_unique=True)
+            common = common[common > u]
+            if common.size:
+                counts[v] += common.size
+                counts[u] += common.size
+                counts[common] += 1
+    return counts
+
+
+def local_clustering_coefficients(graph: Graph,
+                                  triangles: np.ndarray = None) -> np.ndarray:
+    """Local clustering coefficient ``t(v) / (0.5 * deg(v) * (deg(v) - 1))``.
+
+    Degrees are undirected (unique neighbours); vertices with degree < 2 have
+    a coefficient of zero.
+    """
+    if triangles is None:
+        triangles = triangle_counts(graph)
+    neighbor_sets = _undirected_neighbor_sets(graph)
+    degs = np.array([len(n) for n in neighbor_sets], dtype=np.float64)
+    denom = 0.5 * degs * (degs - 1.0)
+    coeffs = np.zeros(graph.num_vertices, dtype=np.float64)
+    mask = denom > 0
+    coeffs[mask] = triangles[mask] / denom[mask]
+    return coeffs
+
+
+@dataclass
+class GraphProperties:
+    """Bundle of graph properties used as machine-learning features."""
+
+    num_edges: int
+    num_vertices: int
+    mean_degree: float
+    density: float
+    in_degree_skewness: float
+    out_degree_skewness: float
+    mean_triangles: float
+    mean_local_clustering: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the properties as a plain dictionary."""
+        return asdict(self)
+
+    def simple(self) -> Dict[str, float]:
+        """Simple feature set: graph size only."""
+        return {"num_edges": self.num_edges, "num_vertices": self.num_vertices}
+
+    def basic(self) -> Dict[str, float]:
+        """Basic feature set: size, mean degree, density, degree skewness."""
+        return {
+            "num_edges": self.num_edges,
+            "num_vertices": self.num_vertices,
+            "mean_degree": self.mean_degree,
+            "density": self.density,
+            "in_degree_skewness": self.in_degree_skewness,
+            "out_degree_skewness": self.out_degree_skewness,
+        }
+
+    def advanced(self) -> Dict[str, float]:
+        """Advanced feature set: basic + triangles and clustering."""
+        features = self.basic()
+        features["mean_triangles"] = self.mean_triangles
+        features["mean_local_clustering"] = self.mean_local_clustering
+        return features
+
+
+def compute_properties(graph: Graph, exact_triangles: bool = True,
+                       sample_size: int = 2000,
+                       seed: int = 0) -> GraphProperties:
+    """Compute all graph properties of Section II-B.
+
+    Parameters
+    ----------
+    graph:
+        The graph to characterise.
+    exact_triangles:
+        If True, count triangles exactly (O(sum of deg^2) worst case).  If
+        False, estimate the mean triangle count and clustering coefficient on
+        a uniform sample of ``sample_size`` vertices, which is what makes the
+        feature extraction cheap on larger graphs.
+    sample_size:
+        Number of vertices sampled when ``exact_triangles`` is False.
+    seed:
+        Random seed for the vertex sample.
+    """
+    in_deg = graph.in_degrees()
+    out_deg = graph.out_degrees()
+    if graph.num_vertices == 0:
+        return GraphProperties(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    if exact_triangles or graph.num_vertices <= sample_size:
+        triangles = triangle_counts(graph)
+        lcc = local_clustering_coefficients(graph, triangles)
+        mean_tri = float(triangles.mean())
+        mean_lcc = float(lcc.mean())
+    else:
+        mean_tri, mean_lcc = _sampled_triangle_stats(graph, sample_size, seed)
+
+    return GraphProperties(
+        num_edges=graph.num_edges,
+        num_vertices=graph.num_vertices,
+        mean_degree=mean_degree(graph),
+        density=density(graph),
+        in_degree_skewness=pearson_skewness(in_deg),
+        out_degree_skewness=pearson_skewness(out_deg),
+        mean_triangles=mean_tri,
+        mean_local_clustering=mean_lcc,
+    )
+
+
+def _sampled_triangle_stats(graph: Graph, sample_size: int,
+                            seed: int) -> tuple:
+    """Estimate mean triangles and mean LCC from a uniform vertex sample."""
+    rng = np.random.default_rng(seed)
+    sample = rng.choice(graph.num_vertices, size=sample_size, replace=False)
+    adj = graph.undirected_adjacency()
+    neighbor_sets = {}
+
+    def neighbors_of(v: int) -> np.ndarray:
+        if v not in neighbor_sets:
+            neigh = np.unique(adj.neighbors(v))
+            neighbor_sets[v] = neigh[neigh != v]
+        return neighbor_sets[v]
+
+    tri_sum = 0.0
+    lcc_sum = 0.0
+    for v in sample:
+        neigh_v = neighbors_of(int(v))
+        deg = neigh_v.size
+        if deg < 2:
+            continue
+        tri = 0
+        for u in neigh_v:
+            tri += np.intersect1d(neigh_v, neighbors_of(int(u)),
+                                  assume_unique=True).size
+        tri /= 2  # each triangle counted for two neighbours
+        tri_sum += tri
+        lcc_sum += tri / (0.5 * deg * (deg - 1))
+    return tri_sum / sample_size, lcc_sum / sample_size

@@ -1,0 +1,92 @@
+"""Estimator base classes of the from-scratch ML library.
+
+The library mirrors the small subset of the scikit-learn API that EASE needs
+(``fit`` / ``predict``, ``get_params`` / ``set_params`` for grid search and
+cloning), implemented with numpy only.  See DESIGN.md §2 for why scikit-learn
+and XGBoost themselves are substituted.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["Regressor", "clone", "check_2d", "check_fitted"]
+
+
+class Regressor:
+    """Base class for all regressors.
+
+    Subclasses must implement :meth:`fit` and :meth:`predict`.  Constructor
+    arguments are treated as hyper-parameters: they are discoverable through
+    :meth:`get_params` and settable through :meth:`set_params`, which is what
+    the grid search uses.
+    """
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "Regressor":
+        raise NotImplementedError
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _hyper_parameter_names(cls):
+        signature = inspect.signature(cls.__init__)
+        return [name for name in signature.parameters
+                if name not in ("self", "args", "kwargs")]
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return the constructor hyper-parameters of this estimator."""
+        return {name: getattr(self, name)
+                for name in self._hyper_parameter_names()
+                if hasattr(self, name)}
+
+    def set_params(self, **params: Any) -> "Regressor":
+        """Set hyper-parameters in place (unknown names raise)."""
+        valid = set(self._hyper_parameter_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"unknown hyper-parameter {name!r} for "
+                    f"{type(self).__name__}; valid parameters: {sorted(valid)}")
+            setattr(self, name, value)
+        return self
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Coefficient of determination R^2 (higher is better)."""
+        from .metrics import r2_score
+
+        return r2_score(targets, self.predict(features))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: Regressor) -> Regressor:
+    """Return an unfitted copy of ``estimator`` with the same hyper-parameters."""
+    fresh = type(estimator)(**copy.deepcopy(estimator.get_params()))
+    return fresh
+
+
+def check_2d(features: np.ndarray, name: str = "features") -> np.ndarray:
+    """Validate and convert a feature matrix to 2-D float64."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim == 1:
+        features = features.reshape(-1, 1)
+    if features.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got shape {features.shape}")
+    if not np.isfinite(features).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return features
+
+
+def check_fitted(estimator: Regressor, attribute: str) -> None:
+    """Raise if ``estimator`` has not been fitted yet."""
+    if not hasattr(estimator, attribute) or getattr(estimator, attribute) is None:
+        raise RuntimeError(
+            f"{type(estimator).__name__} must be fitted before calling predict")

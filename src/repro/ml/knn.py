@@ -1,0 +1,61 @@
+"""K-nearest-neighbours regression (the simple baseline of Section IV-C)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Regressor, check_2d, check_fitted
+from .preprocessing import StandardScaler
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor(Regressor):
+    """Brute-force KNN regression over standardised features.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours averaged for a prediction.
+    weights:
+        ``"uniform"`` averages neighbours equally, ``"distance"`` weights them
+        by inverse distance.
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._features: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+        self._scaler: Optional[StandardScaler] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "KNeighborsRegressor":
+        features = check_2d(features)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets must have the same length")
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self._scaler = StandardScaler().fit(features)
+        self._features = self._scaler.transform(features)
+        self._targets = targets
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_features")
+        query = self._scaler.transform(check_2d(features))
+        k = min(self.n_neighbors, self._features.shape[0])
+        predictions = np.empty(query.shape[0])
+        for row in range(query.shape[0]):
+            distances = np.sqrt(((self._features - query[row]) ** 2).sum(axis=1))
+            nearest = np.argpartition(distances, k - 1)[:k]
+            if self.weights == "uniform":
+                predictions[row] = self._targets[nearest].mean()
+            else:
+                weights = 1.0 / np.maximum(distances[nearest], 1e-12)
+                predictions[row] = (weights * self._targets[nearest]).sum() / weights.sum()
+        return predictions

@@ -1,0 +1,47 @@
+"""Regression evaluation metrics (Section V-A of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "mape", "mae", "r2_score"]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray):
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("metrics are undefined for empty arrays")
+    return y_true, y_pred
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray, epsilon: float = 1e-9) -> float:
+    """Mean absolute percentage error with an ``epsilon`` guard against
+    division by zero, as defined in Section V-A of the paper."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)
+                         / np.maximum(epsilon, np.abs(y_true))))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    total = np.sum((y_true - y_true.mean()) ** 2)
+    residual = np.sum((y_true - y_pred) ** 2)
+    if total == 0:
+        return 0.0 if residual > 0 else 1.0
+    return float(1.0 - residual / total)

@@ -1,0 +1,142 @@
+"""Multi-layer perceptron regressor (the feed-forward DNN of Section IV-C).
+
+A fully connected network with ReLU activations trained with mini-batch Adam
+on the squared loss.  Inputs and targets are standardised internally, which is
+essential for stable training on the heterogeneous graph-feature scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Regressor, check_2d, check_fitted
+from .preprocessing import StandardScaler
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor(Regressor):
+    """Feed-forward neural network for regression.
+
+    Parameters
+    ----------
+    hidden_layer_sizes:
+        Width of each hidden layer.
+    learning_rate:
+        Adam learning rate.
+    max_iter:
+        Number of epochs.
+    batch_size:
+        Mini-batch size (capped at the dataset size).
+    alpha:
+        L2 weight-decay strength.
+    random_state:
+        Seed for weight initialisation and batch shuffling.
+    """
+
+    def __init__(self, hidden_layer_sizes: Tuple[int, ...] = (64, 32),
+                 learning_rate: float = 1e-3, max_iter: int = 300,
+                 batch_size: int = 32, alpha: float = 1e-4,
+                 random_state: int = 0) -> None:
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.random_state = random_state
+        self._weights: Optional[list] = None
+        self._biases: Optional[list] = None
+        self._feature_scaler: Optional[StandardScaler] = None
+        self._target_mean: float = 0.0
+        self._target_scale: float = 1.0
+
+    # ------------------------------------------------------------------ #
+    def _initialise(self, num_features: int, rng: np.random.Generator) -> None:
+        sizes = [num_features, *self.hidden_layer_sizes, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, inputs: np.ndarray):
+        activations = [inputs]
+        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            pre_activation = activations[-1] @ weight + bias
+            if layer < len(self._weights) - 1:
+                activations.append(np.maximum(pre_activation, 0.0))
+            else:
+                activations.append(pre_activation)
+        return activations
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MLPRegressor":
+        features = check_2d(features)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        rng = np.random.default_rng(self.random_state)
+
+        self._feature_scaler = StandardScaler().fit(features)
+        inputs = self._feature_scaler.transform(features)
+        self._target_mean = float(targets.mean())
+        self._target_scale = float(targets.std()) or 1.0
+        scaled_targets = (targets - self._target_mean) / self._target_scale
+
+        self._initialise(inputs.shape[1], rng)
+        first_moment = [np.zeros_like(w) for w in self._weights]
+        second_moment = [np.zeros_like(w) for w in self._weights]
+        first_moment_bias = [np.zeros_like(b) for b in self._biases]
+        second_moment_bias = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        num_samples = inputs.shape[0]
+        batch_size = min(self.batch_size, num_samples)
+
+        for _epoch in range(self.max_iter):
+            order = rng.permutation(num_samples)
+            for start in range(0, num_samples, batch_size):
+                batch = order[start:start + batch_size]
+                batch_inputs = inputs[batch]
+                batch_targets = scaled_targets[batch]
+
+                activations = self._forward(batch_inputs)
+                predictions = activations[-1].ravel()
+                error = (predictions - batch_targets) / batch.shape[0]
+
+                # Backward pass.
+                gradient = error.reshape(-1, 1)
+                step += 1
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    grad_weight = (activations[layer].T @ gradient
+                                   + self.alpha * self._weights[layer])
+                    grad_bias = gradient.sum(axis=0)
+                    if layer > 0:
+                        gradient = gradient @ self._weights[layer].T
+                        gradient *= (activations[layer] > 0)
+
+                    # Adam update.
+                    first_moment[layer] = (beta1 * first_moment[layer]
+                                           + (1 - beta1) * grad_weight)
+                    second_moment[layer] = (beta2 * second_moment[layer]
+                                            + (1 - beta2) * grad_weight ** 2)
+                    first_moment_bias[layer] = (beta1 * first_moment_bias[layer]
+                                                + (1 - beta1) * grad_bias)
+                    second_moment_bias[layer] = (beta2 * second_moment_bias[layer]
+                                                 + (1 - beta2) * grad_bias ** 2)
+                    corrected_first = first_moment[layer] / (1 - beta1 ** step)
+                    corrected_second = second_moment[layer] / (1 - beta2 ** step)
+                    corrected_first_bias = first_moment_bias[layer] / (1 - beta1 ** step)
+                    corrected_second_bias = second_moment_bias[layer] / (1 - beta2 ** step)
+                    self._weights[layer] -= (self.learning_rate * corrected_first
+                                             / (np.sqrt(corrected_second) + eps))
+                    self._biases[layer] -= (self.learning_rate * corrected_first_bias
+                                            / (np.sqrt(corrected_second_bias) + eps))
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_weights")
+        inputs = self._feature_scaler.transform(check_2d(features))
+        outputs = self._forward(inputs)[-1].ravel()
+        return outputs * self._target_scale + self._target_mean

@@ -1,0 +1,160 @@
+"""Model selection: K-fold cross-validation and grid search.
+
+The paper tunes every model family with a grid search evaluated by 5-fold
+cross-validation on the synthetic training graphs, then retrains the best
+configuration on the full training set (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Regressor, clone
+from .metrics import mape, rmse
+
+__all__ = ["KFold", "cross_val_score", "GridSearchCV", "train_test_split"]
+
+
+class KFold:
+    """Deterministic K-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 random_state: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, num_samples: int) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        if num_samples < self.n_splits:
+            raise ValueError("not enough samples for the requested number of "
+                             "folds")
+        indices = np.arange(num_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for fold_index in range(self.n_splits):
+            test = folds[fold_index]
+            train = np.concatenate([folds[i] for i in range(self.n_splits)
+                                    if i != fold_index])
+            yield train, test
+
+
+def train_test_split(num_samples: int, test_fraction: float = 0.2,
+                     random_state: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Random train/test index split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    indices = rng.permutation(num_samples)
+    split_point = int(round(num_samples * (1.0 - test_fraction)))
+    return indices[:split_point], indices[split_point:]
+
+
+def cross_val_score(estimator: Regressor, features: np.ndarray,
+                    targets: np.ndarray, n_splits: int = 5,
+                    scoring: Callable[[np.ndarray, np.ndarray], float] = mape,
+                    random_state: int = 0) -> np.ndarray:
+    """Per-fold scores of ``estimator`` (lower is better for error metrics)."""
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    scores = []
+    for train, test in KFold(n_splits, random_state=random_state).split(len(targets)):
+        model = clone(estimator)
+        model.fit(features[train], targets[train])
+        scores.append(scoring(targets[test], model.predict(features[test])))
+    return np.asarray(scores)
+
+
+@dataclass
+class GridSearchResult:
+    """Best configuration found by :class:`GridSearchCV`."""
+
+    best_params: Dict
+    best_score: float
+    all_results: List[Dict] = field(default_factory=list)
+
+
+class GridSearchCV:
+    """Exhaustive grid search over hyper-parameters with K-fold CV.
+
+    Parameters
+    ----------
+    estimator:
+        Template estimator; it is cloned for every configuration and fold.
+    param_grid:
+        Mapping from hyper-parameter name to the list of values to try.
+    n_splits:
+        Number of cross-validation folds.
+    scoring:
+        Error function (lower is better); the paper uses MAPE.
+    """
+
+    def __init__(self, estimator: Regressor, param_grid: Dict[str, Sequence],
+                 n_splits: int = 5,
+                 scoring: Callable[[np.ndarray, np.ndarray], float] = mape,
+                 random_state: int = 0) -> None:
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.n_splits = n_splits
+        self.scoring = scoring
+        self.random_state = random_state
+        self.best_estimator_: Optional[Regressor] = None
+        self.result_: Optional[GridSearchResult] = None
+
+    def _configurations(self) -> Iterable[Dict]:
+        if not self.param_grid:
+            yield {}
+            return
+        names = sorted(self.param_grid)
+        for values in itertools.product(*(self.param_grid[name] for name in names)):
+            yield dict(zip(names, values))
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GridSearchCV":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        all_results = []
+        best_score = np.inf
+        best_params: Dict = {}
+        for params in self._configurations():
+            candidate = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(candidate, features, targets,
+                                     n_splits=self.n_splits,
+                                     scoring=self.scoring,
+                                     random_state=self.random_state)
+            mean_score = float(scores.mean())
+            all_results.append({"params": params, "mean_score": mean_score,
+                                "scores": scores})
+            if mean_score < best_score:
+                best_score = mean_score
+                best_params = params
+        self.result_ = GridSearchResult(best_params=best_params,
+                                        best_score=best_score,
+                                        all_results=all_results)
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(features, targets)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.best_estimator_ is None:
+            raise RuntimeError("GridSearchCV must be fitted before predict")
+        return self.best_estimator_.predict(features)
+
+    @property
+    def best_params_(self) -> Dict:
+        if self.result_ is None:
+            raise RuntimeError("GridSearchCV must be fitted first")
+        return self.result_.best_params
+
+    @property
+    def best_score_(self) -> float:
+        if self.result_ is None:
+            raise RuntimeError("GridSearchCV must be fitted first")
+        return self.result_.best_score

@@ -1,0 +1,120 @@
+"""Feature preprocessing: z-score standardisation, one-hot encoding and
+polynomial feature expansion (Section IV-C of the paper)."""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .base import check_2d
+
+__all__ = ["StandardScaler", "OneHotEncoder", "PolynomialFeatures"]
+
+
+class StandardScaler:
+    """Z-score normalisation: ``(x - mean) / std`` per column.
+
+    Columns with zero variance are left centred but unscaled so that constant
+    features do not blow up to NaN.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = check_2d(features)
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        features = check_2d(features)
+        if features.shape[1] != self.mean_.shape[0]:
+            raise ValueError("feature dimensionality changed between fit and "
+                             "transform")
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler must be fitted before "
+                               "inverse_transform")
+        return check_2d(features) * self.scale_ + self.mean_
+
+
+class OneHotEncoder:
+    """One-hot encoding of categorical string/int values.
+
+    Categories are learned during :meth:`fit`; unseen categories at transform
+    time either raise (default) or map to the all-zero vector when
+    ``handle_unknown='ignore'``.
+    """
+
+    def __init__(self, handle_unknown: str = "error") -> None:
+        if handle_unknown not in ("error", "ignore"):
+            raise ValueError("handle_unknown must be 'error' or 'ignore'")
+        self.handle_unknown = handle_unknown
+        self.categories_: Optional[List] = None
+
+    def fit(self, values: Sequence) -> "OneHotEncoder":
+        self.categories_ = sorted(set(values), key=str)
+        return self
+
+    def transform(self, values: Sequence) -> np.ndarray:
+        if self.categories_ is None:
+            raise RuntimeError("OneHotEncoder must be fitted before transform")
+        index = {category: i for i, category in enumerate(self.categories_)}
+        encoded = np.zeros((len(values), len(self.categories_)))
+        for row, value in enumerate(values):
+            if value in index:
+                encoded[row, index[value]] = 1.0
+            elif self.handle_unknown == "error":
+                raise ValueError(f"unknown category {value!r}")
+        return encoded
+
+    def fit_transform(self, values: Sequence) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+
+class PolynomialFeatures:
+    """Polynomial feature expansion up to ``degree`` (with interactions)."""
+
+    def __init__(self, degree: int = 2, include_bias: bool = True) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.include_bias = include_bias
+        self.num_input_features_: Optional[int] = None
+
+    def fit(self, features: np.ndarray) -> "PolynomialFeatures":
+        self.num_input_features_ = check_2d(features).shape[1]
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        features = check_2d(features)
+        if self.num_input_features_ is None:
+            raise RuntimeError("PolynomialFeatures must be fitted before "
+                               "transform")
+        if features.shape[1] != self.num_input_features_:
+            raise ValueError("feature dimensionality changed between fit and "
+                             "transform")
+        columns = []
+        if self.include_bias:
+            columns.append(np.ones(features.shape[0]))
+        for degree in range(1, self.degree + 1):
+            for combo in combinations_with_replacement(range(features.shape[1]),
+                                                       degree):
+                columns.append(np.prod(features[:, combo], axis=1))
+        return np.column_stack(columns)
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,197 @@
+"""Regression decision tree (CART) with variance-reduction splitting.
+
+The tree is the building block of the random forest and gradient boosting
+regressors.  It records impurity-based feature importances, which Section V-E
+of the paper uses to explain which graph properties drive the partitioning
+quality predictions (Table VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import Regressor, check_2d, check_fitted
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """One node of the fitted tree."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor(Regressor):
+    """CART regression tree minimising mean squared error.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` grows until the other limits stop it).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples in each child of a split.
+    max_features:
+        Number of features considered per split: an int, a float fraction,
+        ``"sqrt"`` or ``None`` (all features).  Random forests use this for
+        per-split feature subsampling.
+    random_state:
+        Seed for the feature subsampling.
+    """
+
+    def __init__(self, max_depth: Optional[int] = None,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 max_features=None, random_state: int = 0) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_Node] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+        self._num_features: int = 0
+
+    # ------------------------------------------------------------------ #
+    def _resolve_max_features(self, num_features: int) -> int:
+        if self.max_features is None:
+            return num_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(num_features)))
+        if isinstance(self.max_features, float):
+            return max(1, int(self.max_features * num_features))
+        return max(1, min(int(self.max_features), num_features))
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features = check_2d(features)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets must have the same length")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        self._num_features = features.shape[1]
+        self._importance_accumulator = np.zeros(self._num_features)
+        self._rng = np.random.default_rng(self.random_state)
+        self._features_per_split = self._resolve_max_features(self._num_features)
+        self._total_samples = features.shape[0]
+        self._root = self._build(features, targets, depth=0)
+        total = self._importance_accumulator.sum()
+        if total > 0:
+            self.feature_importances_ = self._importance_accumulator / total
+        else:
+            self.feature_importances_ = np.zeros(self._num_features)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _build(self, features: np.ndarray, targets: np.ndarray,
+               depth: int) -> _Node:
+        node = _Node(prediction=float(targets.mean()))
+        num_samples = targets.shape[0]
+        if (num_samples < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.all(targets == targets[0])):
+            return node
+
+        split = self._best_split(features, targets)
+        if split is None:
+            return node
+        feature, threshold, gain, left_mask = split
+        self._importance_accumulator[feature] += gain * num_samples / self._total_samples
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[left_mask], targets[left_mask], depth + 1)
+        node.right = self._build(features[~left_mask], targets[~left_mask], depth + 1)
+        return node
+
+    def _best_split(self, features: np.ndarray, targets: np.ndarray):
+        num_samples, num_features = features.shape
+        parent_impurity = targets.var()
+        if parent_impurity == 0.0:
+            return None
+
+        if self._features_per_split < num_features:
+            candidate_features = self._rng.choice(num_features,
+                                                  size=self._features_per_split,
+                                                  replace=False)
+        else:
+            candidate_features = np.arange(num_features)
+
+        best = None
+        best_gain = 1e-12
+        min_leaf = self.min_samples_leaf
+        for feature in candidate_features:
+            order = np.argsort(features[:, feature], kind="stable")
+            sorted_values = features[order, feature]
+            sorted_targets = targets[order]
+
+            # Candidate split positions: between distinct consecutive values.
+            prefix_sum = np.cumsum(sorted_targets)
+            prefix_sq = np.cumsum(sorted_targets ** 2)
+            total_sum = prefix_sum[-1]
+            total_sq = prefix_sq[-1]
+
+            left_counts = np.arange(1, num_samples)
+            right_counts = num_samples - left_counts
+            valid = ((sorted_values[1:] != sorted_values[:-1])
+                     & (left_counts >= min_leaf) & (right_counts >= min_leaf))
+            if not valid.any():
+                continue
+
+            left_sum = prefix_sum[:-1]
+            left_sq = prefix_sq[:-1]
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+            left_var = left_sq / left_counts - (left_sum / left_counts) ** 2
+            right_var = right_sq / right_counts - (right_sum / right_counts) ** 2
+            weighted = (left_counts * left_var + right_counts * right_var) / num_samples
+            gain = parent_impurity - weighted
+            gain[~valid] = -np.inf
+
+            index = int(np.argmax(gain))
+            if gain[index] > best_gain:
+                best_gain = float(gain[index])
+                threshold = 0.5 * (sorted_values[index] + sorted_values[index + 1])
+                left_mask = features[:, feature] <= threshold
+                best = (int(feature), float(threshold), best_gain, left_mask)
+        return best
+
+    # ------------------------------------------------------------------ #
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_root")
+        features = check_2d(features)
+        if features.shape[1] != self._num_features:
+            raise ValueError("feature dimensionality changed between fit and "
+                             "predict")
+        predictions = np.empty(features.shape[0])
+        for row in range(features.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                if features[row, node.feature] <= node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            predictions[row] = node.prediction
+        return predictions
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a single leaf)."""
+        check_fitted(self, "_root")
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)

@@ -1,0 +1,122 @@
+"""Edge-partitioner base classes.
+
+Edge partitioning (vertex-cut) divides the *edges* of a graph into ``k``
+pairwise disjoint partitions; vertices incident to edges in multiple
+partitions are replicated (Section II of the paper).  Every partitioner in
+this package consumes a :class:`~repro.graph.Graph` and produces an
+:class:`EdgePartition`: an array with the partition id of every edge.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["EdgePartition", "EdgePartitioner", "PartitionerCategory"]
+
+
+class PartitionerCategory:
+    """Categories of edge partitioners used throughout the paper."""
+
+    STATELESS_STREAMING = "stateless_streaming"
+    STATEFUL_STREAMING = "stateful_streaming"
+    IN_MEMORY = "in_memory"
+    HYBRID = "hybrid"
+
+
+@dataclass
+class EdgePartition:
+    """Result of edge-partitioning a graph into ``k`` parts.
+
+    Attributes
+    ----------
+    graph:
+        The partitioned graph.
+    num_partitions:
+        Number of partitions ``k``.
+    assignment:
+        Array of length ``|E|`` with the partition id of every edge.
+    partitioner_name:
+        Name of the partitioner that produced this assignment.
+    """
+
+    graph: Graph
+    num_partitions: int
+    assignment: np.ndarray
+    partitioner_name: str = "unknown"
+
+    def __post_init__(self) -> None:
+        self.assignment = np.asarray(self.assignment, dtype=np.int64)
+        if self.assignment.shape[0] != self.graph.num_edges:
+            raise ValueError("assignment must have one entry per edge")
+        if self.assignment.size and (self.assignment.min() < 0
+                                     or self.assignment.max() >= self.num_partitions):
+            raise ValueError("assignment contains out-of-range partition ids")
+
+    # ------------------------------------------------------------------ #
+    def edge_counts(self) -> np.ndarray:
+        """Number of edges per partition."""
+        return np.bincount(self.assignment, minlength=self.num_partitions)
+
+    def edges_of_partition(self, partition: int) -> np.ndarray:
+        """Edge ids assigned to ``partition``."""
+        return np.flatnonzero(self.assignment == partition)
+
+    def vertex_sets(self) -> List[np.ndarray]:
+        """``V(p_i)``: vertices covered by each partition."""
+        covered = []
+        for p in range(self.num_partitions):
+            mask = self.assignment == p
+            vertices = np.union1d(self.graph.src[mask], self.graph.dst[mask])
+            covered.append(vertices)
+        return covered
+
+    def source_vertex_sets(self) -> List[np.ndarray]:
+        """``V_src(p_i)``: source vertices covered by each partition."""
+        return [np.unique(self.graph.src[self.assignment == p])
+                for p in range(self.num_partitions)]
+
+    def destination_vertex_sets(self) -> List[np.ndarray]:
+        """``V_dst(p_i)``: destination vertices covered by each partition."""
+        return [np.unique(self.graph.dst[self.assignment == p])
+                for p in range(self.num_partitions)]
+
+    def vertex_replication_counts(self) -> np.ndarray:
+        """Number of partitions each vertex is replicated to (0 if isolated)."""
+        counts = np.zeros(self.graph.num_vertices, dtype=np.int64)
+        for vertices in self.vertex_sets():
+            counts[vertices] += 1
+        return counts
+
+
+class EdgePartitioner(abc.ABC):
+    """Abstract base class of all edge partitioners.
+
+    Subclasses implement :meth:`partition`; they must be deterministic for a
+    fixed ``seed`` so that profiling runs are reproducible.
+    """
+
+    #: Unique name used by the registry, profiling records and predictors.
+    name: str = "abstract"
+    #: One of the :class:`PartitionerCategory` constants.
+    category: str = PartitionerCategory.STATELESS_STREAMING
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    @abc.abstractmethod
+    def partition(self, graph: Graph, num_partitions: int) -> EdgePartition:
+        """Partition ``graph`` into ``num_partitions`` edge partitions."""
+
+    def __call__(self, graph: Graph, num_partitions: int) -> EdgePartition:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        return self.partition(graph, num_partitions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, seed={self.seed})"

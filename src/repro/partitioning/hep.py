@@ -1,0 +1,117 @@
+"""Hybrid Edge Partitioner (HEP) (Mayer & Jacobsen, SIGMOD 2021).
+
+HEP splits the edge set in two by vertex degree.  Edges incident to at least
+one *low-degree* vertex (degree below ``tau * mean_degree``) are partitioned
+in memory with a neighborhood-expansion heuristic; the remaining edges (both
+endpoints high-degree) are partitioned in a streaming fashion with an
+HDRF-style score that reuses the replication state produced by the in-memory
+phase.
+
+The parameter τ controls the trade-off: small τ streams most of the graph
+(fast, lower quality), large τ partitions almost everything in memory and
+approaches NE quality.  As in the paper we expose τ ∈ {1, 10, 100} as the
+three "partitioners" HEP-1, HEP-10 and HEP-100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from .base import EdgePartition, EdgePartitioner, PartitionerCategory
+from .ne import _ExpansionAllocator
+
+__all__ = ["HybridEdgePartitioner"]
+
+
+class HybridEdgePartitioner(EdgePartitioner):
+    """HEP-τ: in-memory expansion for the low-degree part, streaming for the
+    high-degree part.
+
+    Parameters
+    ----------
+    tau:
+        Degree-threshold multiplier; a vertex is *high-degree* when its degree
+        exceeds ``tau * mean_degree``.
+    balance_slack:
+        Capacity factor α used by both phases.
+    """
+
+    category = PartitionerCategory.HYBRID
+
+    def __init__(self, tau: float = 10.0, balance_slack: float = 1.05,
+                 seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.tau = tau
+        self.balance_slack = balance_slack
+        self.name = f"hep{int(tau)}" if float(tau).is_integer() else f"hep{tau}"
+
+    # ------------------------------------------------------------------ #
+    def partition(self, graph: Graph, num_partitions: int) -> EdgePartition:
+        k = num_partitions
+        degrees = graph.degrees()
+        mean_degree = degrees.mean() if graph.num_vertices else 0.0
+        threshold = self.tau * mean_degree
+
+        high_degree = degrees > threshold
+        # Edges whose endpoints are BOTH high-degree are streamed; everything
+        # else is handled by the in-memory expansion phase.
+        streamed = high_degree[graph.src] & high_degree[graph.dst]
+        in_memory_edges = np.flatnonzero(~streamed)
+        streamed_edges = np.flatnonzero(streamed)
+
+        allocator = _ExpansionAllocator(graph, k, self.balance_slack, self.seed,
+                                        eligible_edges=in_memory_edges)
+        assignment = allocator.run()
+
+        if streamed_edges.size:
+            self._stream_remaining(graph, k, assignment, streamed_edges)
+
+        return EdgePartition(graph, k, assignment, self.name)
+
+    # ------------------------------------------------------------------ #
+    def _stream_remaining(self, graph: Graph, k: int, assignment: np.ndarray,
+                          streamed_edges: np.ndarray) -> None:
+        """HDRF-style streaming of the high-degree edges, seeded with the
+        replication state of the in-memory phase."""
+        partition_sizes = np.bincount(assignment[assignment >= 0], minlength=k)
+        capacity = self.balance_slack * graph.num_edges / k
+
+        replica_mask = np.zeros(graph.num_vertices, dtype=np.int64)
+        assigned = np.flatnonzero(assignment >= 0)
+        if assigned.size and k <= 63:
+            partitions = assignment[assigned]
+            np.bitwise_or.at(replica_mask, graph.src[assigned],
+                             np.int64(1) << partitions)
+            np.bitwise_or.at(replica_mask, graph.dst[assigned],
+                             np.int64(1) << partitions)
+
+        degrees = graph.degrees()
+        partition_ids = np.arange(k)
+        epsilon = 1.0
+        for edge_id in streamed_edges:
+            u = int(graph.src[edge_id])
+            v = int(graph.dst[edge_id])
+            deg_u, deg_v = int(degrees[u]), int(degrees[v])
+            total = max(deg_u + deg_v, 1)
+            theta_u = deg_u / total
+            theta_v = deg_v / total
+            in_p_u = (replica_mask[u] >> partition_ids) & 1
+            in_p_v = (replica_mask[v] >> partition_ids) & 1
+            replication_score = (in_p_u * (1.0 + (1.0 - theta_u))
+                                 + in_p_v * (1.0 + (1.0 - theta_v)))
+            max_size = partition_sizes.max()
+            min_size = partition_sizes.min()
+            balance_score = ((max_size - partition_sizes)
+                             / (epsilon + max_size - min_size))
+            scores = replication_score + balance_score
+            over_capacity = partition_sizes >= capacity
+            if not over_capacity.all():
+                scores = np.where(over_capacity, -np.inf, scores)
+            best = int(np.argmax(scores))
+            assignment[edge_id] = best
+            partition_sizes[best] += 1
+            replica_mask[u] |= np.int64(1) << np.int64(best)
+            replica_mask[v] |= np.int64(1) << np.int64(best)

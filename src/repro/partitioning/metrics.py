@@ -1,0 +1,137 @@
+"""Partitioning quality metrics (Section II-A of the paper).
+
+Five metrics are computed for every partitioning and later predicted by
+EASE's PartitioningQualityPredictor:
+
+* replication factor ``RF(P) = (1 / |V|) * sum_i |V(p_i)|``
+* edge balance        ``max_i |p_i| / avg_i |p_i|``
+* vertex balance      ``max_i |V(p_i)| / avg_i |V(p_i)|``
+* source balance      ``max_i |V_src(p_i)| / avg_i |V_src(p_i)|``
+* destination balance ``max_i |V_dst(p_i)| / avg_i |V_dst(p_i)|``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .base import EdgePartition
+
+__all__ = [
+    "PartitionQualityMetrics",
+    "replication_factor",
+    "edge_balance",
+    "vertex_balance",
+    "source_balance",
+    "destination_balance",
+    "compute_quality_metrics",
+    "QUALITY_METRIC_NAMES",
+]
+
+#: Canonical metric names (used as prediction targets and features).
+QUALITY_METRIC_NAMES = (
+    "replication_factor",
+    "edge_balance",
+    "vertex_balance",
+    "source_balance",
+    "destination_balance",
+)
+
+
+def _balance(counts: Sequence[int]) -> float:
+    """max / avg of a list of per-partition counts (1.0 when empty)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size == 0:
+        return 1.0
+    average = counts.mean()
+    if average == 0:
+        return 1.0
+    return float(counts.max() / average)
+
+
+def replication_factor(partition: EdgePartition) -> float:
+    """Average number of partitions a (non-isolated) vertex spans."""
+    covered_counts = partition.vertex_replication_counts()
+    num_covered = int(np.count_nonzero(covered_counts))
+    if num_covered == 0:
+        return 0.0
+    return float(covered_counts.sum() / num_covered)
+
+
+def edge_balance(partition: EdgePartition) -> float:
+    """Balance of the number of edges per partition."""
+    return _balance(partition.edge_counts())
+
+
+def vertex_balance(partition: EdgePartition) -> float:
+    """Balance of the number of covered vertices per partition."""
+    return _balance([v.size for v in partition.vertex_sets()])
+
+
+def source_balance(partition: EdgePartition) -> float:
+    """Balance of the number of covered source vertices per partition."""
+    return _balance([v.size for v in partition.source_vertex_sets()])
+
+
+def destination_balance(partition: EdgePartition) -> float:
+    """Balance of the number of covered destination vertices per partition."""
+    return _balance([v.size for v in partition.destination_vertex_sets()])
+
+
+@dataclass
+class PartitionQualityMetrics:
+    """The five quality metrics of one partitioning."""
+
+    replication_factor: float
+    edge_balance: float
+    vertex_balance: float
+    source_balance: float
+    destination_balance: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the metrics as a plain dictionary keyed by metric name."""
+        return asdict(self)
+
+
+def compute_quality_metrics(partition: EdgePartition) -> PartitionQualityMetrics:
+    """Compute all five quality metrics for a partitioning.
+
+    The per-partition vertex sets are computed once and shared across the
+    metrics, which matters when profiling hundreds of partitionings.
+    """
+    graph = partition.graph
+    assignment = partition.assignment
+    k = partition.num_partitions
+
+    edge_counts = np.bincount(assignment, minlength=k)
+
+    # Per (partition, vertex) coverage via unique pairs, computed vectorised.
+    def _per_partition_unique_counts(vertices: np.ndarray) -> np.ndarray:
+        pair_key = assignment * graph.num_vertices + vertices
+        unique_pairs = np.unique(pair_key)
+        return np.bincount((unique_pairs // graph.num_vertices).astype(np.int64),
+                           minlength=k)
+
+    src_counts = _per_partition_unique_counts(graph.src)
+    dst_counts = _per_partition_unique_counts(graph.dst)
+
+    # Covered vertices per partition: union of src and dst coverage.
+    both_key = np.concatenate([assignment * graph.num_vertices + graph.src,
+                               assignment * graph.num_vertices + graph.dst])
+    unique_both = np.unique(both_key)
+    covered_counts = np.bincount((unique_both // graph.num_vertices).astype(np.int64),
+                                 minlength=k)
+
+    covered_vertices = np.unique(unique_both % graph.num_vertices)
+    num_covered = covered_vertices.size
+    rf = float(covered_counts.sum() / num_covered) if num_covered else 0.0
+
+    return PartitionQualityMetrics(
+        replication_factor=rf,
+        edge_balance=_balance(edge_counts),
+        vertex_balance=_balance(covered_counts),
+        source_balance=_balance(src_counts),
+        destination_balance=_balance(dst_counts),
+    )

@@ -1,0 +1,72 @@
+"""Registry of the eleven edge partitioners evaluated in the paper.
+
+The paper treats different settings of a partitioner-specific parameter as
+separate partitioners (Section IV-B2); HEP therefore appears three times
+(τ = 1, 10, 100).  The registry is the single place where EASE's predictors,
+the profiling pipeline and the benchmarks look partitioners up by name, and it
+is the extension point for adding new partitioners without retraining the
+processing-time model (Section IV-E).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from .base import EdgePartitioner
+from .hashing import (
+    OneDimDestinationPartitioner,
+    OneDimSourcePartitioner,
+    TwoDimPartitioner,
+    CanonicalRandomVertexCutPartitioner,
+)
+from .dbh import DegreeBasedHashingPartitioner
+from .hdrf import HDRFPartitioner
+from .two_ps import TwoPhaseStreamingPartitioner
+from .ne import NeighborhoodExpansionPartitioner
+from .hep import HybridEdgePartitioner
+
+__all__ = [
+    "PARTITIONER_FACTORIES",
+    "ALL_PARTITIONER_NAMES",
+    "create_partitioner",
+    "create_all_partitioners",
+]
+
+#: Factory per partitioner name.  Each factory takes a seed and returns a
+#: fresh partitioner instance.
+PARTITIONER_FACTORIES: Dict[str, Callable[[int], EdgePartitioner]] = {
+    "1dd": lambda seed=0: OneDimDestinationPartitioner(seed=seed),
+    "1ds": lambda seed=0: OneDimSourcePartitioner(seed=seed),
+    "2d": lambda seed=0: TwoDimPartitioner(seed=seed),
+    "crvc": lambda seed=0: CanonicalRandomVertexCutPartitioner(seed=seed),
+    "dbh": lambda seed=0: DegreeBasedHashingPartitioner(seed=seed),
+    "hdrf": lambda seed=0: HDRFPartitioner(seed=seed),
+    "2ps": lambda seed=0: TwoPhaseStreamingPartitioner(seed=seed),
+    "ne": lambda seed=0: NeighborhoodExpansionPartitioner(seed=seed),
+    "hep1": lambda seed=0: HybridEdgePartitioner(tau=1.0, seed=seed),
+    "hep10": lambda seed=0: HybridEdgePartitioner(tau=10.0, seed=seed),
+    "hep100": lambda seed=0: HybridEdgePartitioner(tau=100.0, seed=seed),
+}
+
+#: The eleven partitioner names in the order used by the paper's figures.
+ALL_PARTITIONER_NAMES: Sequence[str] = (
+    "1dd", "1ds", "2d", "2ps", "crvc", "dbh", "hdrf",
+    "hep1", "hep10", "hep100", "ne",
+)
+
+
+def create_partitioner(name: str, seed: int = 0) -> EdgePartitioner:
+    """Instantiate a partitioner by registry name."""
+    try:
+        factory = PARTITIONER_FACTORIES[name]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown partitioner {name!r}; known partitioners: "
+            f"{sorted(PARTITIONER_FACTORIES)}") from error
+    return factory(seed)
+
+
+def create_all_partitioners(names: Sequence[str] = ALL_PARTITIONER_NAMES,
+                            seed: int = 0) -> List[EdgePartitioner]:
+    """Instantiate every partitioner in ``names`` (default: all eleven)."""
+    return [create_partitioner(name, seed=seed) for name in names]

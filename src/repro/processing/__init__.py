@@ -1,0 +1,43 @@
+"""Distributed graph processing simulator: cluster model, cost model,
+vertex-centric engine and workloads."""
+
+from .cluster import ClusterSpec
+from .cost_model import PartitionedGraphCostModel
+from .engine import ProcessingEngine
+from .result import ProcessingResult, SuperstepCost
+from .algorithms import (
+    ALGORITHM_FACTORIES,
+    ALL_ALGORITHM_NAMES,
+    ConnectedComponents,
+    KCores,
+    LabelPropagation,
+    PageRank,
+    SingleSourceShortestPaths,
+    SuperstepOutcome,
+    SyntheticHigh,
+    SyntheticLow,
+    SyntheticWorkload,
+    VertexCentricAlgorithm,
+    create_algorithm,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "PartitionedGraphCostModel",
+    "ProcessingEngine",
+    "ProcessingResult",
+    "SuperstepCost",
+    "ALGORITHM_FACTORIES",
+    "ALL_ALGORITHM_NAMES",
+    "ConnectedComponents",
+    "KCores",
+    "LabelPropagation",
+    "PageRank",
+    "SingleSourceShortestPaths",
+    "SuperstepOutcome",
+    "SyntheticHigh",
+    "SyntheticLow",
+    "SyntheticWorkload",
+    "VertexCentricAlgorithm",
+    "create_algorithm",
+]

@@ -1,0 +1,80 @@
+"""Vertex-centric algorithm interface of the processing simulator.
+
+Algorithms are written against the whole graph (think of it as the logical
+Pregel program); the engine executes the supersteps, and the cost model
+charges the simulated per-machine time from the activity masks the algorithm
+reports.  This keeps the algorithms simple and correct while the partition
+structure only affects *time*, exactly as in a real distributed engine.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...graph import Graph
+
+__all__ = ["SuperstepOutcome", "VertexCentricAlgorithm"]
+
+
+@dataclass
+class SuperstepOutcome:
+    """What one superstep produced.
+
+    Attributes
+    ----------
+    state:
+        New per-vertex state.
+    updated:
+        Boolean mask of vertices whose value changed (these must be
+        synchronised to their replicas — the communication of the superstep).
+    next_active:
+        Boolean mask of vertices that will execute in the next superstep.
+    """
+
+    state: np.ndarray
+    updated: np.ndarray
+    next_active: np.ndarray
+
+
+class VertexCentricAlgorithm(abc.ABC):
+    """Base class of the graph processing workloads.
+
+    Class attributes describe the workload profile used by the cost model:
+    ``edge_work`` and ``vertex_work`` weight the per-edge / per-vertex compute
+    cost, ``message_size`` is the number of 64-bit values shipped per replica
+    synchronisation.  ``runs_until_convergence`` distinguishes the paper's
+    convergence algorithms (CC, SSSP, K-Cores) from the fixed-iteration ones
+    (PageRank, Label Propagation, Synthetic) whose prediction target is the
+    *average iteration time*.
+    """
+
+    name: str = "abstract"
+    edge_work: float = 1.0
+    vertex_work: float = 1.0
+    message_size: float = 1.0
+    runs_until_convergence: bool = False
+    default_iterations: int = 10
+
+    def __init__(self, num_iterations: int = None, seed: int = 0) -> None:
+        self.num_iterations = num_iterations or self.default_iterations
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def initial_state(self, graph: Graph) -> np.ndarray:
+        """Per-vertex state before the first superstep."""
+
+    def initial_active(self, graph: Graph) -> np.ndarray:
+        """Vertices active in the first superstep (default: all)."""
+        return np.ones(graph.num_vertices, dtype=bool)
+
+    @abc.abstractmethod
+    def superstep(self, graph: Graph, state: np.ndarray,
+                  active: np.ndarray) -> SuperstepOutcome:
+        """Execute one superstep over the whole graph."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(iterations={self.num_iterations})"

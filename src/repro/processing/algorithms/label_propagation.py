@@ -1,0 +1,73 @@
+"""Label Propagation: the computation-bound workload of the paper
+(Section III-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph import Graph
+from .base import SuperstepOutcome, VertexCentricAlgorithm
+
+__all__ = ["LabelPropagation", "most_frequent_neighbor_labels"]
+
+
+def most_frequent_neighbor_labels(graph: Graph, labels: np.ndarray) -> np.ndarray:
+    """For every vertex, the most frequent label among its (undirected)
+    neighbours; vertices without neighbours keep their own label.
+
+    Ties are broken toward the smaller label, which keeps the algorithm
+    deterministic.
+    """
+    num_vertices = graph.num_vertices
+    # Each edge contributes the label of each endpoint to the other endpoint.
+    receivers = np.concatenate([graph.dst, graph.src])
+    sent_labels = np.concatenate([labels[graph.src], labels[graph.dst]])
+    if receivers.size == 0:
+        return labels.copy()
+
+    # Count (receiver, label) pairs, then take the argmax per receiver.  The
+    # key multiplier must exceed the largest label value (labels are vertex
+    # ids during label propagation, but the helper accepts arbitrary labels).
+    multiplier = int(max(num_vertices, int(sent_labels.max()) + 1))
+    pair_key = receivers.astype(np.int64) * multiplier + sent_labels
+    unique_pairs, counts = np.unique(pair_key, return_counts=True)
+    pair_receiver = unique_pairs // multiplier
+    pair_label = unique_pairs % multiplier
+
+    # Sort by (receiver, count, -label) so the last entry per receiver is the
+    # most frequent label with smallest label id on ties.
+    order = np.lexsort((-pair_label, counts, pair_receiver))
+    sorted_receiver = pair_receiver[order]
+    boundaries = np.flatnonzero(np.diff(sorted_receiver)) if sorted_receiver.size else np.array([], dtype=np.int64)
+    last_of_receiver = np.concatenate([boundaries, [sorted_receiver.size - 1]])
+
+    result = labels.copy()
+    result[sorted_receiver[last_of_receiver]] = pair_label[order][last_of_receiver]
+    return result
+
+
+class LabelPropagation(VertexCentricAlgorithm):
+    """Community detection by iterative label propagation.
+
+    Every vertex recomputes the most frequent label among its neighbours each
+    superstep — a per-vertex computation that is much heavier than the
+    per-edge work, which makes the workload computation-bound and therefore
+    sensitive to vertex balance (Figure 2 of the paper).
+    """
+
+    name = "label_propagation"
+    edge_work = 1.0
+    vertex_work = 30.0
+    message_size = 1.0
+    runs_until_convergence = False
+    default_iterations = 10
+
+    def initial_state(self, graph: Graph) -> np.ndarray:
+        return np.arange(graph.num_vertices, dtype=np.int64)
+
+    def superstep(self, graph: Graph, state: np.ndarray,
+                  active: np.ndarray) -> SuperstepOutcome:
+        new_state = most_frequent_neighbor_labels(graph, state)
+        updated = new_state != state
+        next_active = np.ones(graph.num_vertices, dtype=bool)
+        return SuperstepOutcome(new_state, updated, next_active)

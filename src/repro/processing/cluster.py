@@ -1,0 +1,62 @@
+"""Simulated compute cluster.
+
+The paper runs its graph processing workloads on Spark/GraphX clusters with 4
+or 64 machines.  This module models such a cluster for the simulator: every
+partition is placed on one machine, and the machine and network parameters
+determine how per-superstep activity translates into simulated seconds (see
+:mod:`repro.processing.cost_model`).
+
+The default parameters are calibrated so that the simulated run-times land in
+the same order of magnitude as the paper's measurements (minutes for
+million-edge graphs on a handful of machines), but the *relative* behaviour —
+which partitioner wins for which workload — is what matters for EASE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Parameters of the simulated cluster.
+
+    Attributes
+    ----------
+    num_machines:
+        Number of worker machines; each edge partition is assigned to machine
+        ``partition_id % num_machines`` (with ``k == num_machines`` in all of
+        the paper's experiments, a one-to-one mapping).
+    edge_compute_cost:
+        Seconds of compute per active edge scanned in a superstep.
+    vertex_compute_cost:
+        Seconds of compute per active vertex program execution.
+    network_bandwidth:
+        Machine-to-machine bandwidth in values per second (one "value" is one
+        64-bit word of vertex state).
+    network_latency:
+        Fixed per-superstep synchronisation latency in seconds (barrier plus
+        message round-trip).
+    """
+
+    num_machines: int = 4
+    edge_compute_cost: float = 2.0e-7
+    vertex_compute_cost: float = 1.0e-6
+    network_bandwidth: float = 2.0e5
+    network_latency: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise ValueError("num_machines must be >= 1")
+        if min(self.edge_compute_cost, self.vertex_compute_cost) < 0:
+            raise ValueError("compute costs must be non-negative")
+        if self.network_bandwidth <= 0:
+            raise ValueError("network_bandwidth must be positive")
+        if self.network_latency < 0:
+            raise ValueError("network_latency must be non-negative")
+
+    def machine_of_partition(self, partition_id: int) -> int:
+        """Machine hosting the given partition."""
+        return partition_id % self.num_machines

@@ -1,0 +1,65 @@
+"""Result records of simulated graph processing runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["SuperstepCost", "ProcessingResult"]
+
+
+@dataclass
+class SuperstepCost:
+    """Cost breakdown of one superstep of the simulation."""
+
+    superstep: int
+    compute_seconds: float
+    communication_seconds: float
+    active_vertices: int
+    updated_vertices: int
+    active_edges: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Compute plus communication time of this superstep."""
+        return self.compute_seconds + self.communication_seconds
+
+
+@dataclass
+class ProcessingResult:
+    """Outcome of executing one algorithm on one partitioned graph."""
+
+    algorithm: str
+    graph_name: str
+    partitioner_name: str
+    num_partitions: int
+    num_supersteps: int
+    total_seconds: float
+    average_iteration_seconds: float
+    superstep_costs: List[SuperstepCost] = field(default_factory=list)
+    vertex_state: Optional[np.ndarray] = None
+    converged: bool = True
+
+    def compute_seconds(self) -> float:
+        """Total simulated computation time across supersteps."""
+        return float(sum(c.compute_seconds for c in self.superstep_costs))
+
+    def communication_seconds(self) -> float:
+        """Total simulated communication time across supersteps."""
+        return float(sum(c.communication_seconds for c in self.superstep_costs))
+
+    def as_record(self) -> Dict[str, float]:
+        """Flat dictionary used by the profiling pipeline."""
+        return {
+            "algorithm": self.algorithm,
+            "graph": self.graph_name,
+            "partitioner": self.partitioner_name,
+            "num_partitions": self.num_partitions,
+            "num_supersteps": self.num_supersteps,
+            "total_seconds": self.total_seconds,
+            "average_iteration_seconds": self.average_iteration_seconds,
+            "compute_seconds": self.compute_seconds(),
+            "communication_seconds": self.communication_seconds(),
+        }

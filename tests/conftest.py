@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.generators import generate_rmat, generate_realworld_graph
+
+
+@pytest.fixture(scope="session")
+def small_rmat_graph() -> Graph:
+    """A small, skewed R-MAT graph reused across test modules."""
+    return generate_rmat(256, 2000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """A hand-constructed graph with known structure.
+
+    Vertices 0-5; a triangle 0-1-2 (directed cycle), a chain 2->3->4 and an
+    isolated-ish vertex 5 receiving one edge from 0.
+    """
+    edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (0, 5)]
+    return Graph.from_edges(edges, num_vertices=6, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def social_graph() -> Graph:
+    """A small social-type graph (high clustering, skewed degrees)."""
+    return generate_realworld_graph("soc", 300, 2400, seed=5)

@@ -1,0 +1,109 @@
+"""Additional unit tests: dataset records, selector scores and the
+optimization-goal objective."""
+
+import numpy as np
+import pytest
+
+from repro.graph import compute_properties
+from repro.generators import generate_rmat
+from repro.ease import (
+    OptimizationGoal,
+    PartitionerScore,
+    ProfileDataset,
+    QualityRecord,
+    SelectionResult,
+)
+
+
+def _quality_record(graph_type="rmat", partitioner="ne", k=4):
+    graph = generate_rmat(64, 300, seed=1, graph_type=graph_type)
+    return QualityRecord(
+        graph_name=graph.name, graph_type=graph_type,
+        properties=compute_properties(graph), partitioner=partitioner,
+        num_partitions=k,
+        metrics={"replication_factor": 2.0, "edge_balance": 1.1,
+                 "vertex_balance": 1.2, "source_balance": 1.3,
+                 "destination_balance": 1.4})
+
+
+class TestPartitionerScore:
+    def test_end_to_end_is_sum(self):
+        score = PartitionerScore("ne", 2.0, 5.0, {"replication_factor": 1.5})
+        assert score.predicted_end_to_end_seconds == pytest.approx(7.0)
+
+    def test_objective_selects_the_right_component(self):
+        score = PartitionerScore("ne", 2.0, 5.0, {})
+        assert score.objective(OptimizationGoal.PROCESSING) == pytest.approx(5.0)
+        assert score.objective(OptimizationGoal.END_TO_END) == pytest.approx(7.0)
+
+
+class TestSelectionResult:
+    def _result(self):
+        scores = [PartitionerScore("a", 1.0, 5.0, {}),
+                  PartitionerScore("b", 3.0, 1.0, {}),
+                  PartitionerScore("c", 0.5, 4.0, {})]
+        return SelectionResult(selected="b", goal=OptimizationGoal.END_TO_END,
+                               algorithm="pagerank", num_partitions=4,
+                               scores=scores)
+
+    def test_ranking_orders_by_goal(self):
+        result = self._result()
+        assert [s.partitioner for s in result.ranking()] == ["b", "c", "a"]
+
+    def test_processing_goal_changes_the_order(self):
+        result = self._result()
+        result.goal = OptimizationGoal.PROCESSING
+        assert [s.partitioner for s in result.ranking()] == ["b", "c", "a"]
+
+    def test_score_of_unknown_partitioner(self):
+        with pytest.raises(KeyError):
+            self._result().score_of("zzz")
+
+
+class TestProfileDatasetBehaviour:
+    def test_filter_combined(self):
+        dataset = ProfileDataset(quality=[
+            _quality_record("wiki", "ne"),
+            _quality_record("wiki", "2d"),
+            _quality_record("soc", "ne"),
+        ])
+        filtered = dataset.filter_quality(graph_types=["wiki"],
+                                          partitioners=["ne"])
+        assert len(filtered) == 1
+        assert filtered[0].graph_type == "wiki"
+        assert filtered[0].partitioner == "ne"
+
+    def test_graph_names_deduplicated(self):
+        record = _quality_record()
+        dataset = ProfileDataset(quality=[record, record])
+        assert len(dataset.graph_names()) == 1
+
+    def test_summary_of_empty_dataset(self):
+        summary = ProfileDataset().summary()
+        assert summary["quality_records"] == 0
+        assert summary["graphs"] == 0
+
+
+class TestQualityPredictorTargetSubset:
+    def test_partial_fit_only_trains_requested_metrics(self):
+        from repro.ease import GraphProfiler, PartitioningQualityPredictor
+
+        profiler = GraphProfiler(partitioner_names=("2d", "ne"),
+                                 partition_counts=(2,))
+        graphs = [generate_rmat(96, 500, seed=s, graph_type="rmat")
+                  for s in range(3)]
+        records = profiler.profile_quality(graphs).quality
+        predictor = PartitioningQualityPredictor()
+        predictor.fit(records, targets=["replication_factor"])
+        scores = predictor.evaluate(records)
+        assert set(scores) == {"replication_factor"}
+        with pytest.raises(ValueError):
+            predictor.predict_metric("vertex_balance",
+                                     [records[0].properties], ["ne"], [2])
+
+    def test_unknown_target_rejected(self):
+        from repro.ease import PartitioningQualityPredictor
+
+        with pytest.raises(ValueError):
+            PartitioningQualityPredictor().fit([_quality_record()],
+                                               targets=["modularity"])

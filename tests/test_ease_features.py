@@ -1,0 +1,92 @@
+"""Tests for EASE feature engineering (Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import compute_properties
+from repro.ease import (
+    FEATURE_SETS,
+    QualityFeatureBuilder,
+    PartitioningTimeFeatureBuilder,
+    ProcessingTimeFeatureBuilder,
+    graph_feature_names,
+    graph_feature_vector,
+)
+
+
+@pytest.fixture(scope="module")
+def properties(request):
+    from repro.generators import generate_rmat
+
+    return compute_properties(generate_rmat(128, 800, seed=1))
+
+
+class TestFeatureSets:
+    def test_three_feature_sets(self):
+        assert set(FEATURE_SETS) == {"simple", "basic", "advanced"}
+
+    def test_nesting(self):
+        assert set(FEATURE_SETS["simple"]) < set(FEATURE_SETS["basic"])
+        assert set(FEATURE_SETS["basic"]) < set(FEATURE_SETS["advanced"])
+
+    def test_unknown_set_raises(self):
+        with pytest.raises(ValueError):
+            graph_feature_names("deluxe")
+
+    def test_vector_matches_names(self, properties):
+        vector = graph_feature_vector(properties, "advanced")
+        names = graph_feature_names("advanced")
+        assert vector.shape == (len(names),)
+        as_dict = properties.as_dict()
+        for value, name in zip(vector, names):
+            assert value == pytest.approx(as_dict[name])
+
+
+class TestQualityFeatureBuilder:
+    def test_feature_matrix_shape(self, properties):
+        builder = QualityFeatureBuilder(feature_set="basic").fit(["ne", "dbh"])
+        matrix = builder.build([properties, properties], ["ne", "dbh"], [4, 8])
+        # 6 basic properties + k + 2 one-hot columns.
+        assert matrix.shape == (2, 6 + 1 + 2)
+
+    def test_feature_names_align_with_columns(self, properties):
+        builder = QualityFeatureBuilder(feature_set="basic").fit(["ne", "dbh"])
+        names = builder.feature_names()
+        matrix = builder.build([properties], ["ne"], [16])
+        assert len(names) == matrix.shape[1]
+        assert names[6] == "num_partitions"
+        assert matrix[0, 6] == 16
+
+    def test_one_hot_is_exclusive(self, properties):
+        builder = QualityFeatureBuilder().fit(["a", "b", "c"])
+        matrix = builder.build([properties], ["b"], [4])
+        one_hot = matrix[0, -3:]
+        assert one_hot.sum() == 1.0
+
+    def test_unknown_partitioner_maps_to_zero_vector(self, properties):
+        builder = QualityFeatureBuilder().fit(["a", "b"])
+        matrix = builder.build([properties], ["zzz"], [4])
+        assert matrix[0, -2:].sum() == 0.0
+
+
+class TestPartitioningTimeFeatureBuilder:
+    def test_shape_and_names(self, properties):
+        builder = PartitioningTimeFeatureBuilder(feature_set="simple").fit(["ne"])
+        matrix = builder.build([properties], ["ne"])
+        assert matrix.shape == (1, 2 + 1)
+        assert len(builder.feature_names()) == 3
+
+
+class TestProcessingTimeFeatureBuilder:
+    def test_includes_quality_metrics(self, properties):
+        builder = ProcessingTimeFeatureBuilder()
+        metrics = {"replication_factor": 2.0, "edge_balance": 1.1,
+                   "vertex_balance": 1.2, "source_balance": 1.3,
+                   "destination_balance": 1.4}
+        matrix = builder.build([properties], [4], [metrics])
+        # 2 simple properties + k + 5 quality metrics.
+        assert matrix.shape == (1, 8)
+        names = builder.feature_names()
+        assert "replication_factor" in names
+        assert matrix[0, names.index("replication_factor")] == 2.0
+        assert matrix[0, names.index("destination_balance")] == 1.4

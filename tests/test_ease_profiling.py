@@ -1,0 +1,108 @@
+"""Tests for the profiling pipeline and dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_rmat
+from repro.ease import GraphProfiler, ProfileDataset
+from repro.partitioning import QUALITY_METRIC_NAMES
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [generate_rmat(128, 700, seed=s, graph_type="rmat") for s in range(3)]
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return GraphProfiler(partitioner_names=("2d", "dbh", "ne"),
+                         partition_counts=(2, 4),
+                         processing_partition_count=2,
+                         algorithms=("pagerank", "connected_components"))
+
+
+@pytest.fixture(scope="module")
+def quality_dataset(profiler, graphs):
+    return profiler.profile_quality(graphs)
+
+
+@pytest.fixture(scope="module")
+def processing_dataset(profiler, graphs):
+    return profiler.profile_processing(graphs[:2])
+
+
+class TestProfileQuality:
+    def test_record_counts(self, quality_dataset, graphs):
+        # 3 graphs x 3 partitioners x 2 partition counts.
+        assert len(quality_dataset.quality) == 18
+        assert len(quality_dataset.partitioning_time) == 18
+        assert len(quality_dataset.processing) == 0
+
+    def test_records_contain_all_metrics(self, quality_dataset):
+        for record in quality_dataset.quality:
+            assert set(record.metrics) == set(QUALITY_METRIC_NAMES)
+            assert record.metrics["replication_factor"] >= 1.0
+
+    def test_partitioning_times_positive(self, quality_dataset):
+        assert all(r.seconds > 0 for r in quality_dataset.partitioning_time)
+
+    def test_properties_shared_per_graph(self, quality_dataset):
+        by_graph = {}
+        for record in quality_dataset.quality:
+            by_graph.setdefault(record.graph_name, set()).add(id(record.properties))
+        # Properties are computed once per graph and shared between records.
+        assert all(len(ids) == 1 for ids in by_graph.values())
+
+
+class TestProfileProcessing:
+    def test_record_counts(self, processing_dataset):
+        # 2 graphs x 3 partitioners x 2 algorithms.
+        assert len(processing_dataset.processing) == 12
+        # plus one quality + timing record per (graph, partitioner).
+        assert len(processing_dataset.quality) == 6
+
+    def test_target_is_average_iteration_for_pagerank(self, processing_dataset):
+        for record in processing_dataset.processing:
+            if record.algorithm == "pagerank":
+                assert record.target_seconds < record.total_seconds
+                assert record.target_seconds == pytest.approx(
+                    record.total_seconds / record.num_supersteps)
+
+    def test_target_is_total_for_convergence_algorithms(self, processing_dataset):
+        for record in processing_dataset.processing:
+            if record.algorithm == "connected_components":
+                assert record.target_seconds == pytest.approx(record.total_seconds)
+
+    def test_invalid_time_mode_rejected(self):
+        with pytest.raises(ValueError):
+            GraphProfiler(partitioning_time_mode="guess")
+
+    def test_wall_clock_mode(self, graphs):
+        profiler = GraphProfiler(partitioner_names=("2d",),
+                                 partition_counts=(2,),
+                                 partitioning_time_mode="wall_clock")
+        dataset = profiler.profile_quality(graphs[:1])
+        assert dataset.partitioning_time[0].seconds > 0
+
+
+class TestProfileDataset:
+    def test_extend_merges_records(self, quality_dataset, processing_dataset):
+        merged = ProfileDataset()
+        merged.extend(quality_dataset).extend(processing_dataset)
+        assert len(merged.quality) == (len(quality_dataset.quality)
+                                       + len(processing_dataset.quality))
+        assert len(merged.processing) == len(processing_dataset.processing)
+
+    def test_summary_counts(self, quality_dataset):
+        summary = quality_dataset.summary()
+        assert summary["quality_records"] == 18
+        assert summary["graphs"] == 3
+
+    def test_filter_quality(self, quality_dataset):
+        only_ne = quality_dataset.filter_quality(partitioners=["ne"])
+        assert len(only_ne) == 6
+        assert all(r.partitioner == "ne" for r in only_ne)
+
+    def test_filter_by_type(self, quality_dataset):
+        none_found = quality_dataset.filter_quality(graph_types=["wiki"])
+        assert none_found == []

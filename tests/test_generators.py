@@ -1,0 +1,180 @@
+"""Tests for the graph generators and the training-grid configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import compute_properties, pearson_skewness
+from repro.generators import (
+    RMATParameters,
+    generate_rmat,
+    generate_barabasi_albert,
+    generate_erdos_renyi,
+    generate_realworld_graph,
+    generate_test_catalogue,
+    generate_large_test_graphs,
+    rmat_small_grid,
+    rmat_large_grid,
+    generate_training_corpus,
+    TABLE2_PARAMETER_COMBINATIONS,
+    GRAPH_TYPES,
+)
+
+
+class TestRMAT:
+    def test_sizes(self):
+        graph = generate_rmat(128, 1000, seed=0)
+        assert graph.num_edges == 1000
+        assert graph.num_vertices == 128
+        assert graph.src.max() < 128
+        assert graph.dst.max() < 128
+
+    def test_deterministic_for_seed(self):
+        a = generate_rmat(64, 500, seed=42)
+        b = generate_rmat(64, 500, seed=42)
+        np.testing.assert_array_equal(a.src, b.src)
+        np.testing.assert_array_equal(a.dst, b.dst)
+
+    def test_different_seeds_differ(self):
+        a = generate_rmat(64, 500, seed=1)
+        b = generate_rmat(64, 500, seed=2)
+        assert not np.array_equal(a.src, b.src)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RMATParameters(0.5, 0.5, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            RMATParameters(-0.1, 0.5, 0.5, 0.1)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_rmat(0, 10)
+        with pytest.raises(ValueError):
+            generate_rmat(10, -1)
+
+    def test_skewed_parameters_increase_degree_skew(self):
+        balanced = generate_rmat(512, 4000, RMATParameters(0.25, 0.25, 0.25, 0.25),
+                                 seed=3, noise=0.0)
+        skewed = generate_rmat(512, 4000, RMATParameters(0.70, 0.06, 0.19, 0.05),
+                               seed=3, noise=0.0)
+        assert (pearson_skewness(skewed.out_degrees())
+                > pearson_skewness(balanced.out_degrees()))
+
+    def test_non_power_of_two_vertices(self):
+        graph = generate_rmat(100, 500, seed=1)
+        assert graph.src.max() < 100
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        graph = generate_barabasi_albert(100, 3, seed=0)
+        # m edges for each of the (n - m - 1) attached vertices + m seed edges.
+        assert graph.num_edges == 3 + 3 * (100 - 4)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            generate_barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            generate_barabasi_albert(3, 5)
+
+    def test_degree_skew_is_positive(self):
+        graph = generate_barabasi_albert(300, 2, seed=0)
+        assert pearson_skewness(graph.degrees()) > 0
+
+    def test_deterministic(self):
+        a = generate_barabasi_albert(50, 2, seed=9)
+        b = generate_barabasi_albert(50, 2, seed=9)
+        np.testing.assert_array_equal(a.src, b.src)
+
+
+class TestErdosRenyi:
+    def test_sizes(self):
+        graph = generate_erdos_renyi(50, 200, seed=0)
+        assert graph.num_edges == 200
+        assert graph.num_vertices == 50
+
+    def test_low_clustering(self):
+        graph = generate_erdos_renyi(400, 1200, seed=0)
+        props = compute_properties(graph.deduplicated().without_self_loops())
+        assert props.mean_local_clustering < 0.05
+
+
+class TestRealWorldFamilies:
+    @pytest.mark.parametrize("graph_type", GRAPH_TYPES)
+    def test_each_family_generates(self, graph_type):
+        graph = generate_realworld_graph(graph_type, 200, 1200, seed=1)
+        assert graph.num_vertices == 200
+        assert graph.num_edges > 0
+        assert graph.graph_type == graph_type
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            generate_realworld_graph("nonsense", 100, 500)
+
+    def test_collaboration_has_higher_clustering_than_interaction(self):
+        collab = generate_realworld_graph("collaboration", 300, 2500, seed=2)
+        inter = generate_realworld_graph("interaction", 300, 2500, seed=2)
+        collab_props = compute_properties(collab.deduplicated().without_self_loops())
+        inter_props = compute_properties(inter.deduplicated().without_self_loops())
+        assert collab_props.mean_local_clustering > inter_props.mean_local_clustering
+
+    def test_wiki_is_more_skewed_than_product(self):
+        wiki = generate_realworld_graph("wiki", 400, 4000, seed=3)
+        product = generate_realworld_graph("product_network", 400, 4000, seed=3)
+        assert (pearson_skewness(wiki.in_degrees())
+                > pearson_skewness(product.in_degrees()))
+
+    def test_catalogue_composition(self):
+        catalogue = generate_test_catalogue(scale=0.05, base_vertices=100,
+                                            base_edges=500)
+        types = {g.graph_type for g in catalogue}
+        assert types == set(GRAPH_TYPES)
+
+    def test_large_test_graphs(self):
+        graphs = generate_large_test_graphs(scale=0.1)
+        assert len(graphs) == 7
+        assert all(g.num_edges >= 100 for g in graphs)
+
+
+class TestTrainingGrids:
+    def test_table2_has_nine_combinations(self):
+        assert len(TABLE2_PARAMETER_COMBINATIONS) == 9
+        for params in TABLE2_PARAMETER_COMBINATIONS:
+            assert params.d == pytest.approx(0.05)
+
+    def test_small_grid_cell_count_matches_table(self):
+        # Table I(a) has 33 (|E|, |V|) combinations x 9 parameter combinations.
+        specs = rmat_small_grid()
+        assert len(specs) == 33 * 9 == 297
+
+    def test_large_grid_cell_count_matches_table(self):
+        # Table I(b) has 20 (|E|, |V|) combinations x 9 parameter combinations.
+        specs = rmat_large_grid()
+        assert len(specs) == 20 * 9 == 180
+
+    def test_vertices_never_exceed_edges(self):
+        for spec in rmat_small_grid():
+            assert spec.num_vertices <= spec.num_edges
+
+    def test_corpus_generation_is_deterministic(self):
+        specs = rmat_small_grid()[:3]
+        first = [g.edge_array() for g in generate_training_corpus(specs, seed=5)]
+        second = [g.edge_array() for g in generate_training_corpus(specs, seed=5)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_corpus_truncation(self):
+        specs = rmat_small_grid()
+        graphs = list(generate_training_corpus(specs, max_graphs=4))
+        assert len(graphs) == 4
+
+
+class TestGeneratorProperties:
+    @given(num_vertices=st.integers(8, 200), num_edges=st.integers(1, 800),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_rmat_vertex_ids_in_range(self, num_vertices, num_edges, seed):
+        graph = generate_rmat(num_vertices, num_edges, seed=seed)
+        assert graph.num_edges == num_edges
+        assert graph.src.max() < num_vertices
+        assert graph.dst.max() < num_vertices

@@ -1,0 +1,138 @@
+"""Unit and property-based tests for graph property computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    Graph,
+    compute_properties,
+    density,
+    mean_degree,
+    pearson_skewness,
+    triangle_counts,
+    local_clustering_coefficients,
+)
+
+
+def _triangle_graph() -> Graph:
+    return Graph.from_edges([(0, 1), (1, 2), (2, 0)], num_vertices=3)
+
+
+def _star_graph(leaves: int = 5) -> Graph:
+    return Graph.from_edges([(0, i) for i in range(1, leaves + 1)])
+
+
+class TestScalarProperties:
+    def test_density_triangle(self):
+        assert density(_triangle_graph()) == pytest.approx(3 / (3 * 2))
+
+    def test_density_small_graph(self):
+        assert density(Graph.empty(1)) == 0.0
+
+    def test_mean_degree_triangle(self):
+        assert mean_degree(_triangle_graph()) == pytest.approx(2.0)
+
+    def test_mean_degree_star(self):
+        graph = _star_graph(4)
+        assert mean_degree(graph) == pytest.approx(2 * 4 / 5)
+
+
+class TestSkewness:
+    def test_constant_distribution_has_zero_skew(self):
+        assert pearson_skewness(np.array([3, 3, 3, 3])) == 0.0
+
+    def test_right_skewed_distribution_is_positive(self):
+        values = np.array([1] * 50 + [40])
+        assert pearson_skewness(values) > 0
+
+    def test_empty_distribution(self):
+        assert pearson_skewness(np.array([])) == 0.0
+
+    def test_star_out_degree_skew_positive(self):
+        graph = _star_graph(30)
+        assert pearson_skewness(graph.out_degrees()) > 0
+
+
+class TestTriangles:
+    def test_triangle_graph_counts(self):
+        counts = triangle_counts(_triangle_graph())
+        np.testing.assert_array_equal(counts, [1, 1, 1])
+
+    def test_star_has_no_triangles(self):
+        counts = triangle_counts(_star_graph(5))
+        assert counts.sum() == 0
+
+    def test_direction_is_ignored(self):
+        forward = Graph.from_edges([(0, 1), (1, 2), (2, 0)], num_vertices=3)
+        mixed = Graph.from_edges([(0, 1), (2, 1), (2, 0)], num_vertices=3)
+        np.testing.assert_array_equal(triangle_counts(forward),
+                                      triangle_counts(mixed))
+
+    def test_matches_networkx(self, small_rmat_graph):
+        import networkx as nx
+
+        simple = small_rmat_graph.deduplicated().without_self_loops()
+        ours = triangle_counts(simple)
+        undirected = nx.Graph(simple.to_networkx().to_undirected())
+        theirs = nx.triangles(undirected)
+        for vertex, expected in theirs.items():
+            assert ours[vertex] == expected
+
+
+class TestClusteringCoefficient:
+    def test_triangle_graph_is_fully_clustered(self):
+        coeffs = local_clustering_coefficients(_triangle_graph())
+        np.testing.assert_allclose(coeffs, 1.0)
+
+    def test_star_graph_has_zero_clustering(self):
+        coeffs = local_clustering_coefficients(_star_graph(5))
+        np.testing.assert_allclose(coeffs, 0.0)
+
+
+class TestComputeProperties:
+    def test_bundle_matches_individual_functions(self, tiny_graph):
+        props = compute_properties(tiny_graph)
+        assert props.num_edges == tiny_graph.num_edges
+        assert props.num_vertices == tiny_graph.num_vertices
+        assert props.mean_degree == pytest.approx(mean_degree(tiny_graph))
+        assert props.density == pytest.approx(density(tiny_graph))
+
+    def test_feature_set_nesting(self, tiny_graph):
+        props = compute_properties(tiny_graph)
+        simple = set(props.simple())
+        basic = set(props.basic())
+        advanced = set(props.advanced())
+        assert simple < basic < advanced
+
+    def test_empty_graph_properties(self):
+        props = compute_properties(Graph.empty(0))
+        assert props.num_edges == 0
+        assert props.mean_degree == 0.0
+
+    def test_sampled_estimate_close_to_exact(self, small_rmat_graph):
+        exact = compute_properties(small_rmat_graph, exact_triangles=True)
+        sampled = compute_properties(small_rmat_graph, exact_triangles=False,
+                                     sample_size=200, seed=1)
+        assert sampled.mean_local_clustering == pytest.approx(
+            exact.mean_local_clustering, abs=0.15)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)),
+                    min_size=1, max_size=120))
+    @settings(max_examples=30, deadline=None)
+    def test_properties_are_finite_for_any_graph(self, edges):
+        graph = Graph.from_edges(edges)
+        props = compute_properties(graph)
+        for value in props.as_dict().values():
+            assert np.isfinite(value)
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_clustering_coefficient_bounded(self, edges):
+        graph = Graph.from_edges(edges)
+        coeffs = local_clustering_coefficients(graph.deduplicated())
+        assert (coeffs >= 0).all()
+        assert (coeffs <= 1.0 + 1e-9).all()

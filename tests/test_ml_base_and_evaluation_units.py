@@ -1,0 +1,87 @@
+"""Unit tests for the ML base utilities and the strategy-evaluation records."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegression, RandomForestRegressor, clone
+from repro.ml.base import check_2d, check_fitted
+from repro.ease import OptimizationGoal
+from repro.ease.evaluation import JobOutcome, StrategyComparison
+
+
+class TestCheck2D:
+    def test_promotes_one_dimensional_input(self):
+        result = check_2d(np.arange(4))
+        assert result.shape == (4, 1)
+
+    def test_rejects_three_dimensional_input(self):
+        with pytest.raises(ValueError):
+            check_2d(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_2d(np.array([[np.nan, 1.0]]))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError):
+            check_2d(np.array([[np.inf, 1.0]]))
+
+
+class TestEstimatorProtocol:
+    def test_check_fitted_raises_before_fit(self):
+        model = LinearRegression()
+        with pytest.raises(RuntimeError):
+            check_fitted(model, "coefficients_")
+
+    def test_clone_is_unfitted(self):
+        model = RandomForestRegressor(n_estimators=3)
+        model.fit(np.random.default_rng(0).random((20, 2)), np.arange(20.0))
+        copy = clone(model)
+        assert copy.trees_ is None
+        assert copy.n_estimators == 3
+
+    def test_score_is_r2(self):
+        rng = np.random.default_rng(1)
+        features = rng.random((50, 2))
+        targets = features[:, 0] * 2
+        model = LinearRegression().fit(features, targets)
+        assert model.score(features, targets) == pytest.approx(1.0)
+
+    def test_repr_contains_parameters(self):
+        assert "n_estimators=7" in repr(RandomForestRegressor(n_estimators=7))
+
+
+class TestJobOutcome:
+    def _job(self):
+        return JobOutcome(
+            graph_name="g", graph_type="wiki", algorithm="pagerank",
+            num_partitions=4,
+            processing_seconds={"ne": 1.0, "2d": 3.0},
+            partitioning_seconds={"ne": 5.0, "2d": 0.5},
+            replication_factor={"ne": 1.2, "2d": 2.5})
+
+    def test_end_to_end_is_sum(self):
+        job = self._job()
+        assert job.end_to_end_seconds("ne") == pytest.approx(6.0)
+        assert job.end_to_end_seconds("2d") == pytest.approx(3.5)
+
+    def test_cost_depends_on_goal(self):
+        job = self._job()
+        # For the processing goal NE wins; end-to-end, 2D wins because NE's
+        # partitioning time is not amortised — the core trade-off of the paper.
+        assert job.cost("ne", OptimizationGoal.PROCESSING) < job.cost(
+            "2d", OptimizationGoal.PROCESSING)
+        assert job.cost("2d", OptimizationGoal.END_TO_END) < job.cost(
+            "ne", OptimizationGoal.END_TO_END)
+
+
+class TestStrategyComparison:
+    def test_relative_to(self):
+        comparison = StrategyComparison(
+            algorithm="pagerank", goal="end_to_end", num_jobs=4,
+            strategy_seconds={"SPS": 2.0, "SO": 1.6, "SW": 4.0, "SR": 3.0,
+                              "SSRF": 2.5},
+            optimal_pick_fraction={"SPS": 0.5, "SO": 1.0, "SW": 0.0,
+                                   "SR": 0.1, "SSRF": 0.25})
+        assert comparison.relative_to("SPS", "SO") == pytest.approx(1.25)
+        assert comparison.relative_to("SPS", "SW") == pytest.approx(0.5)

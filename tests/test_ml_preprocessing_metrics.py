@@ -1,0 +1,129 @@
+"""Tests for ML preprocessing and evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    OneHotEncoder,
+    PolynomialFeatures,
+    StandardScaler,
+    mae,
+    mape,
+    r2_score,
+    rmse,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_does_not_produce_nan(self):
+        data = np.column_stack([np.ones(10), np.arange(10)])
+        scaled = StandardScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((50, 3)) * 10
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((3, 2)))
+
+    def test_dimension_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((5, 2)))
+
+
+class TestOneHotEncoder:
+    def test_encodes_categories(self):
+        encoder = OneHotEncoder()
+        encoded = encoder.fit_transform(["ne", "dbh", "ne", "hdrf"])
+        assert encoded.shape == (4, 3)
+        np.testing.assert_allclose(encoded.sum(axis=1), 1.0)
+        # Same category maps to the same column.
+        np.testing.assert_array_equal(encoded[0], encoded[2])
+
+    def test_unknown_category_raises_by_default(self):
+        encoder = OneHotEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.transform(["c"])
+
+    def test_unknown_category_ignored_when_requested(self):
+        encoder = OneHotEncoder(handle_unknown="ignore").fit(["a", "b"])
+        encoded = encoder.transform(["c"])
+        np.testing.assert_allclose(encoded, 0.0)
+
+    def test_invalid_handle_unknown(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_unknown="nonsense")
+
+
+class TestPolynomialFeatures:
+    def test_degree_two_feature_count(self):
+        # 2 inputs -> bias + 2 linear + 3 quadratic = 6 columns.
+        expanded = PolynomialFeatures(degree=2).fit_transform(np.ones((4, 2)))
+        assert expanded.shape == (4, 6)
+
+    def test_no_bias(self):
+        expanded = PolynomialFeatures(degree=1, include_bias=False).fit_transform(
+            np.arange(6).reshape(3, 2))
+        assert expanded.shape == (3, 2)
+
+    def test_values_of_expansion(self):
+        data = np.array([[2.0, 3.0]])
+        expanded = PolynomialFeatures(degree=2).fit_transform(data)
+        np.testing.assert_allclose(expanded, [[1, 2, 3, 4, 6, 9]])
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialFeatures(degree=0)
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+        assert mape(y, y) == 0.0
+        assert mae(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+
+    def test_rmse_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_mape_known_value(self):
+        assert mape([1.0, 2.0], [1.1, 1.8]) == pytest.approx(0.1, abs=1e-9)
+
+    def test_mape_guards_against_zero_targets(self):
+        value = mape([0.0, 1.0], [1.0, 1.0])
+        assert np.isfinite(value)
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mape([], [])
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_rmse_nonnegative_and_zero_iff_equal(self, values):
+        y = np.asarray(values)
+        assert rmse(y, y) == 0.0
+        shifted = y + 1.0
+        assert rmse(y, shifted) == pytest.approx(1.0)

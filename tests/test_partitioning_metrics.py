@@ -1,0 +1,138 @@
+"""Tests for the partitioning quality metrics (Section II-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph
+from repro.partitioning import (
+    EdgePartition,
+    compute_quality_metrics,
+    replication_factor,
+    edge_balance,
+    vertex_balance,
+    source_balance,
+    destination_balance,
+)
+
+
+def _partition_of(edges, assignment, k):
+    graph = Graph.from_edges(edges)
+    return EdgePartition(graph, k, np.asarray(assignment), "manual")
+
+
+class TestReplicationFactor:
+    def test_single_partition_is_one(self):
+        partition = _partition_of([(0, 1), (1, 2), (2, 0)], [0, 0, 0], 1)
+        assert replication_factor(partition) == pytest.approx(1.0)
+
+    def test_fully_cut_triangle(self):
+        # Every edge on its own partition: every vertex is in exactly 2 parts.
+        partition = _partition_of([(0, 1), (1, 2), (2, 0)], [0, 1, 2], 3)
+        assert replication_factor(partition) == pytest.approx(2.0)
+
+    def test_isolated_vertices_are_ignored(self):
+        graph = Graph.from_edges([(0, 1)], num_vertices=10)
+        partition = EdgePartition(graph, 2, np.array([0]), "manual")
+        assert replication_factor(partition) == pytest.approx(1.0)
+
+
+class TestBalanceMetrics:
+    def test_perfectly_balanced_edges(self):
+        partition = _partition_of([(0, 1), (2, 3), (4, 5), (6, 7)],
+                                  [0, 0, 1, 1], 2)
+        assert edge_balance(partition) == pytest.approx(1.0)
+
+    def test_imbalanced_edges(self):
+        partition = _partition_of([(0, 1), (2, 3), (4, 5), (6, 7)],
+                                  [0, 0, 0, 1], 2)
+        assert edge_balance(partition) == pytest.approx(3 / 2)
+
+    def test_vertex_balance_of_disjoint_split(self):
+        partition = _partition_of([(0, 1), (2, 3)], [0, 1], 2)
+        assert vertex_balance(partition) == pytest.approx(1.0)
+
+    def test_source_and_destination_balance_differ(self):
+        # Partition 0 holds two edges from the same source; partition 1 holds
+        # two edges into the same destination.
+        partition = _partition_of([(0, 1), (0, 2), (3, 5), (4, 5)],
+                                  [0, 0, 1, 1], 2)
+        assert source_balance(partition) == pytest.approx(2 / 1.5)
+        assert destination_balance(partition) == pytest.approx(2 / 1.5)
+
+    def test_empty_partition_counts_in_balance(self):
+        partition = _partition_of([(0, 1), (1, 2)], [0, 0], 2)
+        assert edge_balance(partition) == pytest.approx(2.0)
+
+
+class TestComputeQualityMetricsBundle:
+    def test_matches_individual_functions(self, small_rmat_graph):
+        from repro.partitioning import create_partitioner
+
+        partition = create_partitioner("dbh")(small_rmat_graph, 4)
+        bundle = compute_quality_metrics(partition)
+        assert bundle.replication_factor == pytest.approx(
+            replication_factor(partition))
+        assert bundle.edge_balance == pytest.approx(edge_balance(partition))
+        assert bundle.vertex_balance == pytest.approx(vertex_balance(partition))
+        assert bundle.source_balance == pytest.approx(source_balance(partition))
+        assert bundle.destination_balance == pytest.approx(
+            destination_balance(partition))
+
+    def test_as_dict_keys(self):
+        partition = _partition_of([(0, 1)], [0], 1)
+        metrics = compute_quality_metrics(partition).as_dict()
+        assert set(metrics) == {
+            "replication_factor", "edge_balance", "vertex_balance",
+            "source_balance", "destination_balance",
+        }
+
+
+class TestEdgePartitionValidation:
+    def test_rejects_wrong_length_assignment(self, tiny_graph):
+        with pytest.raises(ValueError):
+            EdgePartition(tiny_graph, 2, np.zeros(3, dtype=np.int64), "manual")
+
+    def test_rejects_out_of_range_ids(self, tiny_graph):
+        assignment = np.zeros(tiny_graph.num_edges, dtype=np.int64)
+        assignment[0] = 5
+        with pytest.raises(ValueError):
+            EdgePartition(tiny_graph, 2, assignment, "manual")
+
+    def test_edge_counts(self, tiny_graph):
+        assignment = np.array([0, 0, 1, 1, 1, 0])
+        partition = EdgePartition(tiny_graph, 2, assignment, "manual")
+        np.testing.assert_array_equal(partition.edge_counts(), [3, 3])
+
+
+class TestPropertyBasedInvariants:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_replication_factor_bounds(self, data):
+        num_edges = data.draw(st.integers(1, 60))
+        edges = data.draw(st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            min_size=num_edges, max_size=num_edges))
+        k = data.draw(st.integers(1, 6))
+        assignment = data.draw(st.lists(st.integers(0, k - 1),
+                                        min_size=num_edges, max_size=num_edges))
+        partition = _partition_of(edges, assignment, k)
+        rf = replication_factor(partition)
+        assert 1.0 <= rf <= k + 1e-9
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_balance_at_least_one(self, data):
+        num_edges = data.draw(st.integers(1, 60))
+        edges = data.draw(st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            min_size=num_edges, max_size=num_edges))
+        k = data.draw(st.integers(1, 6))
+        assignment = data.draw(st.lists(st.integers(0, k - 1),
+                                        min_size=num_edges, max_size=num_edges))
+        partition = _partition_of(edges, assignment, k)
+        metrics = compute_quality_metrics(partition)
+        assert metrics.edge_balance >= 1.0 - 1e-9
+        assert metrics.vertex_balance >= 1.0 - 1e-9
+        assert metrics.source_balance >= 1.0 - 1e-9
+        assert metrics.destination_balance >= 1.0 - 1e-9

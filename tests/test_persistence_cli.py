@@ -1,0 +1,125 @@
+"""Tests for model/dataset persistence and the command-line interface."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_rmat
+from repro.graph import save_npz, write_edge_list
+from repro.ease import EASE, GraphProfiler, ProfileDataset
+from repro.ease.persistence import (
+    load_dataset,
+    load_ease,
+    save_dataset,
+    save_ease,
+)
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def small_profile():
+    profiler = GraphProfiler(partitioner_names=("2d", "dbh", "ne"),
+                             partition_counts=(2,),
+                             processing_partition_count=2,
+                             algorithms=("pagerank",))
+    graphs = [generate_rmat(96, 500 + 150 * s, seed=s, graph_type="rmat")
+              for s in range(4)]
+    return profiler.profile(graphs, graphs)
+
+
+@pytest.fixture(scope="module")
+def trained_system(small_profile):
+    return EASE(partitioner_names=("2d", "dbh", "ne")).train(small_profile)
+
+
+class TestPersistence:
+    def test_dataset_roundtrip(self, tmp_path, small_profile):
+        path = str(tmp_path / "profile.pkl")
+        save_dataset(small_profile, path)
+        loaded = load_dataset(path)
+        assert loaded.summary() == small_profile.summary()
+
+    def test_ease_roundtrip_preserves_predictions(self, tmp_path,
+                                                  trained_system,
+                                                  small_profile):
+        path = str(tmp_path / "ease.pkl")
+        save_ease(trained_system, path)
+        loaded = load_ease(path)
+        record = small_profile.quality[0]
+        original = trained_system.quality_predictor.predict(
+            record.properties, "ne", 2).as_dict()
+        restored = loaded.quality_predictor.predict(
+            record.properties, "ne", 2).as_dict()
+        for key in original:
+            assert original[key] == pytest.approx(restored[key])
+
+    def test_kind_mismatch_is_rejected(self, tmp_path, trained_system):
+        path = str(tmp_path / "ease.pkl")
+        save_ease(trained_system, path)
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+    def test_type_validation(self, tmp_path, small_profile):
+        with pytest.raises(TypeError):
+            save_ease(small_profile, str(tmp_path / "x.pkl"))
+        with pytest.raises(TypeError):
+            save_dataset(object(), str(tmp_path / "y.pkl"))
+
+    def test_garbage_file_is_rejected(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        import pickle
+
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_ease(str(path))
+
+
+class TestCLI:
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_command(self, tmp_path):
+        output = str(tmp_path / "graphs")
+        exit_code = main(["generate", "--output", output, "--max-graphs", "3",
+                          "--scale", "0.000002"])
+        assert exit_code == 0
+        files = [name for name in os.listdir(output) if name.endswith(".npz")]
+        assert len(files) == 3
+
+    def test_full_cli_workflow(self, tmp_path, capsys):
+        graphs_dir = tmp_path / "graphs"
+        graphs_dir.mkdir()
+        for seed in range(3):
+            graph = generate_rmat(96, 600 + 100 * seed, seed=seed)
+            save_npz(graph, str(graphs_dir / f"g{seed}.npz"))
+
+        profile_path = str(tmp_path / "profile.pkl")
+        assert main(["profile", "--graphs", str(graphs_dir),
+                     "--output", profile_path,
+                     "--partitioners", "2d", "dbh", "ne",
+                     "--algorithms", "pagerank",
+                     "--partition-counts", "2",
+                     "--processing-partitions", "2"]) == 0
+
+        model_path = str(tmp_path / "ease.pkl")
+        assert main(["train", "--profile", profile_path,
+                     "--output", model_path]) == 0
+
+        query_graph = generate_rmat(128, 900, seed=9)
+        query_path = str(tmp_path / "query.txt")
+        write_edge_list(query_graph, query_path)
+        assert main(["select", "--model", model_path, "--graph", query_path,
+                     "--algorithm", "pagerank", "--partitions", "2",
+                     "--goal", "processing"]) == 0
+        output = capsys.readouterr().out
+        assert "selected partitioner:" in output
+        assert "end-to-end (s)" in output
+
+    def test_profile_rejects_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["profile", "--graphs", str(empty),
+                  "--output", str(tmp_path / "p.pkl")])

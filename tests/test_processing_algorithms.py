@@ -1,0 +1,204 @@
+"""Correctness tests for the graph processing workloads."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.generators import generate_rmat
+from repro.partitioning import create_partitioner
+from repro.processing import (
+    ConnectedComponents,
+    KCores,
+    LabelPropagation,
+    PageRank,
+    ProcessingEngine,
+    SingleSourceShortestPaths,
+    SyntheticHigh,
+    SyntheticLow,
+    SyntheticWorkload,
+    create_algorithm,
+    ALL_ALGORITHM_NAMES,
+)
+from repro.processing.algorithms import most_frequent_neighbor_labels
+
+
+def _run(graph, algorithm, k=2, partitioner="crvc"):
+    partition = create_partitioner(partitioner)(graph, k)
+    return ProcessingEngine().run(partition, algorithm)
+
+
+class TestAlgorithmRegistry:
+    def test_six_evaluation_algorithms(self):
+        assert len(ALL_ALGORITHM_NAMES) == 6
+
+    def test_create_algorithm_by_name(self):
+        algorithm = create_algorithm("pagerank", num_iterations=3)
+        assert algorithm.num_iterations == 3
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            create_algorithm("triangle_count")
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self, small_rmat_graph):
+        result = _run(small_rmat_graph, PageRank(num_iterations=15))
+        assert result.vertex_state.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_networkx(self):
+        graph = generate_rmat(64, 400, seed=2).deduplicated().without_self_loops()
+        result = _run(graph, PageRank(num_iterations=60))
+        import networkx as nx
+
+        expected = nx.pagerank(graph.to_networkx(), alpha=0.85, max_iter=200)
+        ours = result.vertex_state
+        top_ours = int(np.argmax(ours))
+        top_theirs = max(expected, key=expected.get)
+        assert top_ours == top_theirs
+        # Rank values should correlate strongly.
+        theirs = np.array([expected[v] for v in range(graph.num_vertices)])
+        correlation = np.corrcoef(ours, theirs)[0, 1]
+        assert correlation > 0.97
+
+    def test_hub_ranks_higher_than_leaf(self):
+        star = Graph.from_edges([(i, 0) for i in range(1, 20)])
+        result = _run(star, PageRank(num_iterations=20))
+        assert result.vertex_state[0] > result.vertex_state[1]
+
+    def test_fixed_iteration_count(self, small_rmat_graph):
+        result = _run(small_rmat_graph, PageRank(num_iterations=7))
+        assert result.num_supersteps == 7
+
+
+class TestLabelPropagation:
+    def test_most_frequent_label_helper(self):
+        graph = Graph.from_edges([(0, 3), (1, 3), (2, 3)], num_vertices=4)
+        labels = np.array([7, 7, 5, 1])
+        new_labels = most_frequent_neighbor_labels(graph, labels)
+        assert new_labels[3] == 7
+
+    def test_tie_breaks_to_smaller_label(self):
+        graph = Graph.from_edges([(0, 2), (1, 2)], num_vertices=3)
+        labels = np.array([9, 4, 0])
+        new_labels = most_frequent_neighbor_labels(graph, labels)
+        assert new_labels[2] == 4
+
+    def test_isolated_vertex_keeps_label(self):
+        graph = Graph.from_edges([(0, 1)], num_vertices=3)
+        labels = np.array([0, 1, 2])
+        new_labels = most_frequent_neighbor_labels(graph, labels)
+        assert new_labels[2] == 2
+
+    def test_two_cliques_converge_to_two_labels(self):
+        clique_a = [(i, j) for i in range(4) for j in range(4) if i < j]
+        clique_b = [(i, j) for i in range(4, 8) for j in range(4, 8) if i < j]
+        graph = Graph.from_edges(clique_a + clique_b)
+        result = _run(graph, LabelPropagation(num_iterations=10))
+        labels = result.vertex_state
+        assert len(set(labels[:4])) == 1
+        assert len(set(labels[4:])) == 1
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=5)
+        result = _run(graph, ConnectedComponents())
+        components = result.vertex_state
+        assert components[0] == components[1] == components[2]
+        assert components[3] == components[4]
+        assert components[0] != components[3]
+        assert result.converged
+
+    def test_matches_networkx(self, small_rmat_graph):
+        import networkx as nx
+
+        result = _run(small_rmat_graph, ConnectedComponents())
+        undirected = small_rmat_graph.to_networkx().to_undirected()
+        expected_count = nx.number_connected_components(undirected)
+        # Count components among non-isolated vertices plus isolated ones.
+        ours = len(np.unique(result.vertex_state))
+        isolated = sum(1 for v in undirected.nodes if undirected.degree(v) == 0)
+        assert ours == expected_count
+
+    def test_component_id_is_minimum_member(self):
+        graph = Graph.from_edges([(5, 3), (3, 1)], num_vertices=6)
+        result = _run(graph, ConnectedComponents())
+        assert result.vertex_state[5] == 1
+        assert result.vertex_state[3] == 1
+
+
+class TestSSSP:
+    def test_distances_on_a_path(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 3)], num_vertices=4)
+        result = _run(graph, SingleSourceShortestPaths(source=0))
+        np.testing.assert_allclose(result.vertex_state, [0, 1, 2, 3])
+
+    def test_unreachable_vertices_stay_infinite(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)], num_vertices=4)
+        result = _run(graph, SingleSourceShortestPaths(source=0))
+        assert np.isinf(result.vertex_state[2])
+        assert np.isinf(result.vertex_state[3])
+
+    def test_matches_networkx(self):
+        graph = generate_rmat(64, 500, seed=5).deduplicated()
+        result = _run(graph, SingleSourceShortestPaths(source=0))
+        import networkx as nx
+
+        expected = nx.single_source_shortest_path_length(graph.to_networkx(), 0)
+        for vertex, distance in expected.items():
+            assert result.vertex_state[vertex] == pytest.approx(distance)
+
+    def test_deterministic_random_source(self, small_rmat_graph):
+        a = SingleSourceShortestPaths(seed=4).initial_state(small_rmat_graph)
+        b = SingleSourceShortestPaths(seed=4).initial_state(small_rmat_graph)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKCores:
+    def test_leaf_vertices_are_peeled(self):
+        # A triangle with a pendant vertex; with k=2 the pendant is removed.
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)], num_vertices=4)
+        result = _run(graph, KCores(core_k=2))
+        state = result.vertex_state
+        assert state[3] < 0  # peeled
+        assert (state[:3] >= 0).all()
+
+    def test_full_clique_survives(self):
+        clique = [(i, j) for i in range(5) for j in range(5) if i < j]
+        graph = Graph.from_edges(clique)
+        result = _run(graph, KCores(core_k=3))
+        assert (result.vertex_state >= 0).all()
+
+    def test_default_threshold_is_mean_degree(self, small_rmat_graph):
+        algorithm = KCores()
+        expected = float(np.ceil(small_rmat_graph.degrees().mean()))
+        assert algorithm._threshold(small_rmat_graph) == expected
+
+    def test_converges(self, small_rmat_graph):
+        result = _run(small_rmat_graph, KCores())
+        assert result.converged
+
+
+class TestSynthetic:
+    def test_feature_size_controls_message_size(self):
+        assert SyntheticLow().message_size == 1.0
+        assert SyntheticHigh().message_size == 10.0
+
+    def test_invalid_feature_size(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload(feature_size=0)
+
+    def test_runs_fixed_iterations(self, small_rmat_graph):
+        result = _run(small_rmat_graph, SyntheticHigh())
+        assert result.num_supersteps == 5
+
+    def test_state_shape(self, small_rmat_graph):
+        result = _run(small_rmat_graph, SyntheticHigh())
+        assert result.vertex_state.shape == (small_rmat_graph.num_vertices, 10)
+
+    def test_high_costs_more_than_low(self, small_rmat_graph):
+        partition = create_partitioner("crvc")(small_rmat_graph, 4)
+        engine = ProcessingEngine()
+        high = engine.run(partition, SyntheticHigh())
+        low = engine.run(partition, SyntheticLow())
+        assert high.total_seconds > low.total_seconds

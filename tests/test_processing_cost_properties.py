@@ -1,0 +1,125 @@
+"""Property-based and structural tests for the processing cost model and
+result records."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators import generate_rmat
+from repro.graph import Graph
+from repro.partitioning import EdgePartition, create_partitioner
+from repro.processing import (
+    ClusterSpec,
+    PageRank,
+    PartitionedGraphCostModel,
+    ProcessingEngine,
+    ProcessingResult,
+    SuperstepCost,
+    SyntheticLow,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_rmat(512, 4000, seed=51)
+
+
+class TestSuperstepCostRecord:
+    def test_total_is_sum(self):
+        cost = SuperstepCost(superstep=0, compute_seconds=0.5,
+                             communication_seconds=0.25, active_vertices=10,
+                             updated_vertices=5, active_edges=20)
+        assert cost.total_seconds == pytest.approx(0.75)
+
+
+class TestProcessingResultRecord:
+    def test_breakdown_sums(self, graph):
+        partition = create_partitioner("dbh")(graph, 4)
+        result = ProcessingEngine().run(partition, PageRank(num_iterations=4))
+        assert result.total_seconds == pytest.approx(
+            sum(c.total_seconds for c in result.superstep_costs))
+        assert result.num_supersteps == len(result.superstep_costs)
+
+    def test_record_is_flat_dictionary(self, graph):
+        partition = create_partitioner("dbh")(graph, 4)
+        result = ProcessingEngine().run(partition, SyntheticLow())
+        record = result.as_record()
+        assert all(not isinstance(value, (list, dict, np.ndarray))
+                   for value in record.values())
+
+
+class TestCostModelProperties:
+    @given(active_fraction=st.floats(0.0, 1.0), updated_fraction=st.floats(0.0, 1.0),
+           message_size=st.floats(0.5, 16.0))
+    @settings(max_examples=30, deadline=None)
+    def test_costs_are_nonnegative_and_finite(self, graph, active_fraction,
+                                              updated_fraction, message_size):
+        partition = create_partitioner("2d")(graph, 4)
+        model = PartitionedGraphCostModel(partition, ClusterSpec(num_machines=4))
+        rng = np.random.default_rng(1)
+        active = rng.random(graph.num_vertices) < active_fraction
+        updated = rng.random(graph.num_vertices) < updated_fraction
+        compute, communication, active_edges = model.superstep_cost(
+            active, updated, edge_work=1.0, vertex_work=1.0,
+            message_size=message_size)
+        assert compute >= 0 and np.isfinite(compute)
+        assert communication >= 0 and np.isfinite(communication)
+        assert 0 <= active_edges <= graph.num_edges
+
+    def test_communication_monotone_in_updates(self, graph):
+        partition = create_partitioner("crvc")(graph, 4)
+        model = PartitionedGraphCostModel(partition, ClusterSpec(num_machines=4))
+        nothing = np.zeros(graph.num_vertices, dtype=bool)
+        some = np.zeros(graph.num_vertices, dtype=bool)
+        some[: graph.num_vertices // 2] = True
+        everything = np.ones(graph.num_vertices, dtype=bool)
+        costs = [model.superstep_cost(everything, mask, 1.0, 1.0, 1.0)[1]
+                 for mask in (nothing, some, everything)]
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_compute_monotone_in_activity(self, graph):
+        partition = create_partitioner("crvc")(graph, 4)
+        model = PartitionedGraphCostModel(partition, ClusterSpec(num_machines=4))
+        nothing = np.zeros(graph.num_vertices, dtype=bool)
+        everything = np.ones(graph.num_vertices, dtype=bool)
+        low = model.superstep_cost(nothing, nothing, 1.0, 1.0, 1.0)[0]
+        high = model.superstep_cost(everything, nothing, 1.0, 1.0, 1.0)[0]
+        assert low <= high
+
+    def test_more_machines_reduce_communication_time(self, graph):
+        assignment = create_partitioner("crvc")(graph, 8).assignment
+        everything = np.ones(graph.num_vertices, dtype=bool)
+        times = []
+        for machines in (2, 8):
+            partition = EdgePartition(graph, 8, assignment, "crvc")
+            model = PartitionedGraphCostModel(partition,
+                                              ClusterSpec(num_machines=machines))
+            times.append(model.superstep_cost(everything, everything,
+                                              1.0, 1.0, 4.0)[1])
+        assert times[1] <= times[0]
+
+    def test_edge_work_scales_compute(self, graph):
+        partition = create_partitioner("2d")(graph, 4)
+        model = PartitionedGraphCostModel(partition, ClusterSpec(num_machines=4))
+        everything = np.ones(graph.num_vertices, dtype=bool)
+        light = model.superstep_cost(everything, everything, 1.0, 0.0, 1.0)[0]
+        heavy = model.superstep_cost(everything, everything, 10.0, 0.0, 1.0)[0]
+        assert heavy == pytest.approx(10 * light)
+
+
+class TestEngineInvariants:
+    @given(iterations=st.integers(1, 6), k=st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_pagerank_cost_scales_with_iterations(self, graph, iterations, k):
+        partition = create_partitioner("dbh")(graph, k)
+        engine = ProcessingEngine()
+        result = engine.run(partition, PageRank(num_iterations=iterations))
+        assert result.num_supersteps == iterations
+        assert result.average_iteration_seconds > 0
+
+    def test_identical_runs_have_identical_cost(self, graph):
+        partition = create_partitioner("dbh")(graph, 4)
+        engine = ProcessingEngine()
+        first = engine.run(partition, PageRank(num_iterations=5))
+        second = engine.run(partition, PageRank(num_iterations=5))
+        assert first.total_seconds == pytest.approx(second.total_seconds)
