@@ -1,7 +1,7 @@
 """Shared infrastructure for the benchmark harness.
 
 Every benchmark module regenerates one table or figure of the paper's
-evaluation at laptop scale (see DESIGN.md §4 for the experiment index).  The
+evaluation at laptop scale (the file names index the experiments).  The
 heavy, shared work — generating the training corpora, profiling them with all
 partitioners and workloads, and training EASE — is done once per benchmark
 session in :mod:`benchmarks.conftest` and cached on disk, so individual

@@ -1,0 +1,105 @@
+"""Profiling-runtime throughput: sequential vs. parallel vs. warm cache.
+
+Profiling is the dominant cost of the EASE training phase (Figure 5, steps
+2-3).  This benchmark measures the job-based profiling runtime on an R-MAT
+corpus in three configurations — the sequential baseline (``jobs=1``, no
+cache), a 4-worker process pool, and a warm content-addressed artifact cache
+— and reports wall-clock, speedup, partitioner invocations and cache hit
+rate.  All three configurations produce identical datasets; only the work
+placement differs.
+"""
+
+import os
+import shutil
+import time
+
+import pytest
+
+from _harness import CACHE_DIRECTORY, format_table, report
+from repro.generators import generate_rmat
+from repro.ease import GraphProfiler
+
+NUM_GRAPHS = 6
+PARTITIONERS = ("2d", "dbh", "hdrf", "2ps", "ne", "hep10")
+PARTITION_COUNTS = (2, 4)
+PROCESSING_K = 2
+ALGORITHMS = ("pagerank", "connected_components", "sssp")
+PARALLEL_JOBS = 4
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [generate_rmat(256, 1600 + 120 * index, seed=index,
+                          graph_type="rmat")
+            for index in range(NUM_GRAPHS)]
+
+
+def _make_profiler(jobs: int, cache_dir=None) -> GraphProfiler:
+    return GraphProfiler(partitioner_names=PARTITIONERS,
+                         partition_counts=PARTITION_COUNTS,
+                         processing_partition_count=PROCESSING_K,
+                         algorithms=ALGORITHMS, jobs=jobs,
+                         cache_dir=cache_dir)
+
+
+def _timed_profile(profiler: GraphProfiler, corpus):
+    start = time.perf_counter()
+    dataset = profiler.profile(corpus, corpus)
+    elapsed = time.perf_counter() - start
+    return dataset, elapsed, profiler.last_run_stats
+
+
+def _run_experiment(corpus):
+    cache_dir = os.path.join(CACHE_DIRECTORY, "profiling_throughput_cache")
+    shutil.rmtree(cache_dir, ignore_errors=True)
+
+    sequential = _timed_profile(_make_profiler(jobs=1), corpus)
+    parallel = _timed_profile(
+        _make_profiler(jobs=PARALLEL_JOBS, cache_dir=cache_dir), corpus)
+    warm = _timed_profile(
+        _make_profiler(jobs=PARALLEL_JOBS, cache_dir=cache_dir), corpus)
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    return {"sequential (jobs=1)": sequential,
+            f"parallel (jobs={PARALLEL_JOBS})": parallel,
+            f"warm cache (jobs={PARALLEL_JOBS})": warm}
+
+
+def test_profiling_throughput(benchmark, corpus):
+    results = benchmark.pedantic(_run_experiment, args=(corpus,),
+                                 rounds=1, iterations=1)
+    baseline_seconds = results["sequential (jobs=1)"][1]
+    rows = []
+    for label, (dataset, seconds, stats) in results.items():
+        rows.append((label, seconds, baseline_seconds / seconds,
+                     stats.partitions_computed,
+                     stats.duplicate_partitions_avoided,
+                     f"{stats.cache_hit_rate():.0%}",
+                     len(dataset.quality) + len(dataset.partitioning_time)
+                     + len(dataset.processing)))
+    report("profiling_throughput", format_table(
+        ("configuration", "wall clock (s)", "speedup", "partitions computed",
+         "duplicates avoided", "cache hit rate", "records"), rows,
+        title=f"Profiling throughput: {NUM_GRAPHS} R-MAT graphs x "
+              f"{len(PARTITIONERS)} partitioners x k={PARTITION_COUNTS}, "
+              f"{len(ALGORITHMS)} workloads at k={PROCESSING_K}"))
+
+    datasets = [entry[0] for entry in results.values()]
+    for dataset in datasets[1:]:
+        assert dataset.summary() == datasets[0].summary()
+        assert all(lhs == rhs for lhs, rhs in
+                   zip(dataset.quality, datasets[0].quality))
+
+    _, _, sequential_stats = results["sequential (jobs=1)"]
+    _, warm_seconds, warm_stats = results[f"warm cache (jobs={PARALLEL_JOBS})"]
+    # Content-addressing removes the double partitioning at the processing k.
+    assert sequential_stats.duplicate_partitions_avoided == (
+        NUM_GRAPHS * len(PARTITIONERS))
+    # A warm cache partitions nothing and must be at least 2x the baseline.
+    assert warm_stats.partitions_computed == 0
+    assert warm_stats.cache_hit_rate() == 1.0
+    assert baseline_seconds / warm_seconds >= 2.0
+    # Pool scaling is hardware-dependent; only assert it when the host
+    # actually has the workers to run on.
+    if (os.cpu_count() or 1) >= PARALLEL_JOBS:
+        _, parallel_seconds, _ = results[f"parallel (jobs={PARALLEL_JOBS})"]
+        assert baseline_seconds / parallel_seconds >= 1.5

@@ -28,7 +28,7 @@ from repro.generators import (  # noqa: E402
 from repro.ease import EASE, GraphProfiler  # noqa: E402
 
 #: Scale factors: Table I grids scaled so the largest graphs have a few
-#: thousand edges (DESIGN.md §3).
+#: thousand edges (laptop scale).
 SMALL_GRID_SCALE = 1.0 / 50_000
 LARGE_GRID_SCALE = 1.0 / 60_000
 #: Subsampling steps applied to the 297-/180-cell grids so the shared

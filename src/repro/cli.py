@@ -19,7 +19,8 @@ Four subcommands mirror the phases of the paper's pipeline (Figure 5):
 Example session::
 
     python -m repro.cli generate --output graphs/ --max-graphs 40
-    python -m repro.cli profile --graphs graphs/ --output profile.pkl
+    python -m repro.cli profile --graphs graphs/ --output profile.pkl \
+        --jobs 4 --cache-dir profile-cache/
     python -m repro.cli train --profile profile.pkl --output ease.pkl
     python -m repro.cli select --model ease.pkl --graph my_graph.txt \
         --algorithm pagerank --partitions 8 --goal end_to_end
@@ -86,10 +87,22 @@ def _command_profile(args: argparse.Namespace) -> int:
         partition_counts=tuple(args.partition_counts),
         processing_partition_count=args.processing_partitions,
         algorithms=args.algorithms,
-        seed=args.seed)
-    dataset = profiler.profile(graphs, graphs)
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir)
+    checkpoint_path = args.output + ".checkpoint"
+    if not args.resume and os.path.exists(checkpoint_path):
+        os.remove(checkpoint_path)
+    dataset = profiler.profile(graphs, graphs,
+                               checkpoint_path=checkpoint_path)
     save_dataset(dataset, args.output)
+    if os.path.exists(checkpoint_path):
+        os.remove(checkpoint_path)
+    stats = profiler.last_run_stats
     print(f"profiled {len(graphs)} graphs -> {dataset.summary()}")
+    print(f"jobs={args.jobs}  partitions computed={stats.partitions_computed}"
+          f"  cache hit rate={stats.cache_hit_rate():.0%}"
+          f"  resumed units={stats.checkpoint_units}")
     print(f"dataset written to {args.output}")
     return 0
 
@@ -166,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default=[4, 8])
     profile.add_argument("--processing-partitions", type=int, default=4)
     profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the profiling grid "
+                              "(results are identical to --jobs 1)")
+    profile.add_argument("--cache-dir", default=None,
+                         help="content-addressed artifact cache reused "
+                              "across profiling runs")
+    profile.add_argument("--resume", action="store_true",
+                         help="resume from the checkpoint left by an "
+                              "interrupted run of the same command")
     profile.set_defaults(handler=_command_profile)
 
     train = subparsers.add_parser("train", help="train EASE from a profile")

@@ -47,7 +47,15 @@ from .evaluation import (
 )
 from .enrichment import EnrichmentLevelResult, EnrichmentStudy
 from .pipeline import EASE
-from .persistence import load_dataset, load_ease, save_dataset, save_ease
+from .persistence import (
+    append_dataset,
+    canonical_sorted,
+    load_dataset,
+    load_ease,
+    merge_datasets,
+    save_dataset,
+    save_ease,
+)
 
 __all__ = [
     "FEATURE_SETS",
@@ -84,8 +92,11 @@ __all__ = [
     "EnrichmentLevelResult",
     "EnrichmentStudy",
     "EASE",
+    "append_dataset",
+    "canonical_sorted",
     "load_dataset",
     "load_ease",
+    "merge_datasets",
     "save_dataset",
     "save_ease",
 ]

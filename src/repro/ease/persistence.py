@@ -10,12 +10,20 @@ from __future__ import annotations
 
 import os
 import pickle
-from typing import Union
+from typing import Iterable, Union
 
 from .dataset import ProfileDataset
 from .pipeline import EASE
 
-__all__ = ["save_ease", "load_ease", "save_dataset", "load_dataset"]
+__all__ = [
+    "save_ease",
+    "load_ease",
+    "save_dataset",
+    "load_dataset",
+    "append_dataset",
+    "merge_datasets",
+    "canonical_sorted",
+]
 
 _FORMAT_VERSION = 1
 
@@ -70,3 +78,54 @@ def load_dataset(path: str) -> ProfileDataset:
     if not isinstance(dataset, ProfileDataset):
         raise ValueError(f"{path!r} does not contain a ProfileDataset")
     return dataset
+
+
+# --------------------------------------------------------------------------- #
+# Partial datasets (incremental profiling runs)
+# --------------------------------------------------------------------------- #
+def merge_datasets(datasets: Iterable[ProfileDataset]) -> ProfileDataset:
+    """Merge several (partial) profiling datasets into one.
+
+    Used to combine the outputs of profiling runs split over corpora or
+    machines; records are concatenated in the given order — apply
+    :func:`canonical_sorted` afterwards if a stable order is needed.
+    """
+    merged = ProfileDataset()
+    for dataset in datasets:
+        if not isinstance(dataset, ProfileDataset):
+            raise TypeError("merge_datasets expects ProfileDataset instances")
+        merged.extend(dataset)
+    return merged
+
+
+def append_dataset(dataset: ProfileDataset, path: str) -> ProfileDataset:
+    """Merge ``dataset`` into the dataset stored at ``path`` and rewrite it.
+
+    If ``path`` does not exist yet, this is equivalent to
+    :func:`save_dataset`.  Returns the combined dataset, which lets long
+    profiling campaigns persist partial results incrementally.
+    """
+    if os.path.exists(path):
+        combined = merge_datasets([load_dataset(path), dataset])
+    else:
+        combined = dataset
+    save_dataset(combined, path)
+    return combined
+
+
+def canonical_sorted(dataset: ProfileDataset) -> ProfileDataset:
+    """Return a copy with records in canonical order.
+
+    Records are sorted by ``(graph name, partitioner, k[, algorithm])``,
+    which makes datasets comparable independently of the corpus order or the
+    phase interleaving that produced them.
+    """
+    def base_key(record):
+        return (record.graph_name, record.partitioner, record.num_partitions)
+
+    result = ProfileDataset()
+    result.quality = sorted(dataset.quality, key=base_key)
+    result.partitioning_time = sorted(dataset.partitioning_time, key=base_key)
+    result.processing = sorted(
+        dataset.processing, key=lambda r: base_key(r) + (r.algorithm,))
+    return result

@@ -6,44 +6,36 @@ run-time, executes the graph processing workloads on the partitioned graphs in
 the simulator and records the processing run-times.  The resulting
 :class:`~repro.ease.dataset.ProfileDataset` is the training (or evaluation)
 data of the three predictors.
+
+Since the job-runtime refactor, :class:`GraphProfiler` is a thin orchestrator
+over :mod:`repro.runtime`: it enumerates the profiling grid as typed jobs
+(:mod:`repro.runtime.jobs`), executes the deduplicated work units — inline or
+on a process pool — against a content-addressed artifact store
+(:mod:`repro.runtime.artifacts`, :mod:`repro.runtime.executor`), and merges
+the payloads into a dataset whose records match a sequential run exactly.
+See ``docs/ARCHITECTURE.md`` for the full design.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
-
-import numpy as np
+from typing import Iterable, List, Optional, Sequence
 
 from ..graph import Graph, GraphProperties, compute_properties
-from ..partitioning import (
-    ALL_PARTITIONER_NAMES,
-    compute_quality_metrics,
-    create_partitioner,
+from ..partitioning import ALL_PARTITIONER_NAMES
+from ..processing import ALL_ALGORITHM_NAMES, ClusterSpec
+from ..runtime.executor import (
+    ProfileExecutor,
+    ProfileRunStats,
+    build_dataset,
 )
-from ..processing import (
-    ALL_ALGORITHM_NAMES,
-    ClusterSpec,
-    ProcessingEngine,
-    VertexCentricAlgorithm,
-    create_algorithm,
-)
-from .dataset import (
-    PartitioningTimeRecord,
-    ProcessingRecord,
-    ProfileDataset,
-    QualityRecord,
-)
+from ..runtime.jobs import ProfilePlan, build_plan
+from .dataset import ProfileDataset
 from .partitioning_cost import (
     PartitioningCostModel,
     measure_wall_clock_partitioning_time,
 )
 
 __all__ = ["GraphProfiler"]
-
-#: Algorithms whose prediction target is the average iteration time (their
-#: per-iteration load is constant and the iteration count is a parameter).
-_AVERAGE_ITERATION_ALGORITHMS = frozenset(
-    {"pagerank", "label_propagation", "synthetic_low", "synthetic_high"})
 
 
 class GraphProfiler:
@@ -71,6 +63,12 @@ class GraphProfiler:
         sampled estimate.
     seed:
         Seed forwarded to partitioners and algorithms.
+    jobs:
+        Worker processes used to execute independent profiling jobs;
+        ``1`` (default) runs inline.  Results are identical either way.
+    cache_dir:
+        Optional directory of the content-addressed artifact cache; reused
+        across runs, so re-profiling an already-profiled grid is nearly free.
     """
 
     def __init__(self,
@@ -81,10 +79,14 @@ class GraphProfiler:
                  cluster: Optional[ClusterSpec] = None,
                  partitioning_time_mode: str = "model",
                  exact_triangles: bool = False,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 jobs: int = 1,
+                 cache_dir: Optional[str] = None) -> None:
         if partitioning_time_mode not in ("model", "wall_clock"):
             raise ValueError("partitioning_time_mode must be 'model' or "
                              "'wall_clock'")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         self.partitioner_names = list(partitioner_names)
         self.partition_counts = list(partition_counts)
         self.processing_partition_count = processing_partition_count
@@ -93,8 +95,12 @@ class GraphProfiler:
         self.partitioning_time_mode = partitioning_time_mode
         self.exact_triangles = exact_triangles
         self.seed = seed
+        self.jobs = jobs
+        self.cache_dir = cache_dir
         self._cost_model = PartitioningCostModel()
-        self._engine = ProcessingEngine(cluster)
+        #: Accounting of the most recent profiling run (job counts, cache
+        #: hit rate, partitions computed); ``None`` before the first run.
+        self.last_run_stats: Optional[ProfileRunStats] = None
 
     # ------------------------------------------------------------------ #
     def graph_properties(self, graph: Graph) -> GraphProperties:
@@ -111,85 +117,67 @@ class GraphProfiler:
                                                  num_partitions)
 
     # ------------------------------------------------------------------ #
+    def build_plan(self, quality_graphs: Iterable[Graph],
+                   processing_graphs: Iterable[Graph]) -> ProfilePlan:
+        """Enumerate the profiling grid of the two corpora as typed jobs."""
+        return build_plan(
+            quality_graphs=list(quality_graphs),
+            processing_graphs=list(processing_graphs),
+            partitioner_names=self.partitioner_names,
+            partition_counts=self.partition_counts,
+            processing_k=self.processing_partition_count,
+            algorithm_names=self.algorithm_names,
+            cluster=self.cluster,
+            time_mode=self.partitioning_time_mode,
+            exact_triangles=self.exact_triangles,
+            seed=self.seed)
+
+    def _run(self, quality_graphs: List[Graph],
+             processing_graphs: List[Graph],
+             progress: Optional[callable] = None,
+             jobs: Optional[int] = None,
+             cache_dir: Optional[str] = None,
+             checkpoint_path: Optional[str] = None) -> ProfileDataset:
+        plan = self.build_plan(quality_graphs, processing_graphs)
+        executor = ProfileExecutor(
+            jobs=self.jobs if jobs is None else jobs,
+            cache_dir=self.cache_dir if cache_dir is None else cache_dir,
+            checkpoint_path=checkpoint_path)
+        results, stats = executor.run(plan)
+        self.last_run_stats = stats
+        return build_dataset(plan, results, progress=progress)
+
+    # ------------------------------------------------------------------ #
     def profile_quality(self, graphs: Iterable[Graph],
                         progress: Optional[callable] = None) -> ProfileDataset:
         """Partition every graph with every partitioner and ``k``; record the
         quality metrics and partitioning run-times."""
-        dataset = ProfileDataset()
-        for graph in graphs:
-            properties = self.graph_properties(graph)
-            for partitioner_name in self.partitioner_names:
-                partitioner = create_partitioner(partitioner_name, seed=self.seed)
-                for k in self.partition_counts:
-                    partition = partitioner(graph, k)
-                    metrics = compute_quality_metrics(partition).as_dict()
-                    dataset.quality.append(QualityRecord(
-                        graph_name=graph.name, graph_type=graph.graph_type,
-                        properties=properties, partitioner=partitioner_name,
-                        num_partitions=k, metrics=metrics))
-                    dataset.partitioning_time.append(PartitioningTimeRecord(
-                        graph_name=graph.name, graph_type=graph.graph_type,
-                        properties=properties, partitioner=partitioner_name,
-                        num_partitions=k,
-                        seconds=self._partitioning_seconds(graph,
-                                                           partitioner_name, k)))
-                if progress is not None:
-                    progress(graph.name, partitioner_name)
-        return dataset
+        return self._run(list(graphs), [], progress=progress)
 
     def profile_processing(self, graphs: Iterable[Graph],
                            progress: Optional[callable] = None) -> ProfileDataset:
         """Partition every graph (at the processing ``k``), run every workload
         and record processing run-times along with quality metrics and
         partitioning run-times."""
-        dataset = ProfileDataset()
-        k = self.processing_partition_count
-        for graph in graphs:
-            properties = self.graph_properties(graph)
-            for partitioner_name in self.partitioner_names:
-                partitioner = create_partitioner(partitioner_name, seed=self.seed)
-                partition = partitioner(graph, k)
-                metrics = compute_quality_metrics(partition).as_dict()
-                partitioning_seconds = self._partitioning_seconds(
-                    graph, partitioner_name, k)
-                dataset.quality.append(QualityRecord(
-                    graph_name=graph.name, graph_type=graph.graph_type,
-                    properties=properties, partitioner=partitioner_name,
-                    num_partitions=k, metrics=metrics))
-                dataset.partitioning_time.append(PartitioningTimeRecord(
-                    graph_name=graph.name, graph_type=graph.graph_type,
-                    properties=properties, partitioner=partitioner_name,
-                    num_partitions=k, seconds=partitioning_seconds))
-                for algorithm_name in self.algorithm_names:
-                    algorithm = create_algorithm(algorithm_name, seed=self.seed)
-                    result = self._engine.run(partition, algorithm)
-                    dataset.processing.append(ProcessingRecord(
-                        graph_name=graph.name, graph_type=graph.graph_type,
-                        properties=properties, partitioner=partitioner_name,
-                        num_partitions=k, algorithm=algorithm_name,
-                        metrics=metrics,
-                        target_seconds=self._target_seconds(algorithm_name, result),
-                        total_seconds=result.total_seconds,
-                        num_supersteps=result.num_supersteps))
-                if progress is not None:
-                    progress(graph.name, partitioner_name)
-        return dataset
+        return self._run([], list(graphs), progress=progress)
 
     def profile(self, quality_graphs: Iterable[Graph],
-                processing_graphs: Iterable[Graph]) -> ProfileDataset:
+                processing_graphs: Iterable[Graph],
+                jobs: Optional[int] = None,
+                cache_dir: Optional[str] = None,
+                checkpoint_path: Optional[str] = None) -> ProfileDataset:
         """Full profiling: quality grid on one corpus, processing on another.
 
         Mirrors the paper's setup where the (smaller) R-MAT-SMALL corpus feeds
         PartitioningQualityPredictor and the (larger) R-MAT-LARGE corpus feeds
-        the two run-time predictors.
-        """
-        dataset = self.profile_quality(quality_graphs)
-        dataset.extend(self.profile_processing(processing_graphs))
-        return dataset
+        the two run-time predictors.  Combinations shared between the two
+        phases — the processing ``k`` appearing in ``partition_counts`` on a
+        shared corpus — are partitioned only once.
 
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _target_seconds(algorithm_name: str, result) -> float:
-        if algorithm_name in _AVERAGE_ITERATION_ALGORITHMS:
-            return result.average_iteration_seconds
-        return result.total_seconds
+        ``jobs`` / ``cache_dir`` override the profiler-level settings for
+        this run; ``checkpoint_path`` enables incremental checkpointing, and
+        re-running with the same path resumes a partially completed run.
+        """
+        return self._run(list(quality_graphs), list(processing_graphs),
+                         jobs=jobs, cache_dir=cache_dir,
+                         checkpoint_path=checkpoint_path)

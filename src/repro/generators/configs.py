@@ -9,7 +9,7 @@ Table II.
 Absolute sizes of that magnitude are not generatable (or partitionable) on a
 laptop, so the grids here keep the *structure* of the tables — the same
 |E|/|V| ratios, the same nine (a, b, c, d) combinations — scaled down by a
-configurable factor (DESIGN.md §3).  The property spread that the predictors
+configurable factor (laptop scale).  The property spread that the predictors
 learn from (mean degree, skew, clustering) is preserved because it is driven
 by the ratios and the quadrant probabilities, not by the absolute sizes.
 """

@@ -11,7 +11,7 @@ evaluation needs: the test distribution must differ from the R-MAT training
 distribution, and the types must differ from each other so that per-type
 weaknesses and enrichment are meaningful.
 
-The substitution is documented in DESIGN.md (§2).
+The substitution is documented in docs/ARCHITECTURE.md.
 """
 
 from __future__ import annotations

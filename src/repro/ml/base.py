@@ -2,7 +2,7 @@
 
 The library mirrors the small subset of the scikit-learn API that EASE needs
 (``fit`` / ``predict``, ``get_params`` / ``set_params`` for grid search and
-cloning), implemented with numpy only.  See DESIGN.md §2 for why scikit-learn
+cloning), implemented with numpy only.  See docs/ARCHITECTURE.md for why scikit-learn
 and XGBoost themselves are substituted.
 """
 

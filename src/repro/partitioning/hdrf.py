@@ -56,6 +56,15 @@ class HDRFPartitioner(EdgePartitioner):
         assignment = np.empty(graph.num_edges, dtype=np.int64)
         epsilon = 1.0
 
+        # Running extrema of partition_sizes.  Sizes only ever grow by one,
+        # so the maximum updates trivially and the minimum advances exactly
+        # when the last partition at the current minimum gains an edge; a
+        # size histogram keeps that check O(1) instead of an O(k) scan per
+        # edge.
+        max_size = 0
+        min_size = 0
+        size_counts = {0: k}
+
         partition_ids = np.arange(k)
         for edge_id in range(graph.num_edges):
             u = int(graph.src[edge_id])
@@ -78,8 +87,6 @@ class HDRFPartitioner(EdgePartitioner):
             replication_score = (in_p_u * (1.0 + (1.0 - theta_u))
                                  + in_p_v * (1.0 + (1.0 - theta_v)))
 
-            max_size = partition_sizes.max()
-            min_size = partition_sizes.min()
             balance_score = (self.balance_weight
                              * (max_size - partition_sizes)
                              / (epsilon + max_size - min_size))
@@ -88,7 +95,16 @@ class HDRFPartitioner(EdgePartitioner):
             best = int(np.argmax(scores))
 
             assignment[edge_id] = best
-            partition_sizes[best] += 1
+            old_size = int(partition_sizes[best])
+            new_size = old_size + 1
+            partition_sizes[best] = new_size
+            size_counts[old_size] -= 1
+            size_counts[new_size] = size_counts.get(new_size, 0) + 1
+            if new_size > max_size:
+                max_size = new_size
+            if old_size == min_size and size_counts[old_size] == 0:
+                del size_counts[old_size]
+                min_size = new_size
             if use_bitmask:
                 replica_mask[u] |= np.int64(1) << np.int64(best)
                 replica_mask[v] |= np.int64(1) << np.int64(best)

@@ -2,7 +2,8 @@
 
 The cost model converts the per-superstep activity of an algorithm into
 simulated seconds on a :class:`~repro.processing.cluster.ClusterSpec`.  It is
-the substitution for the paper's Spark/GraphX measurements (DESIGN.md §2) and
+the substitution for the paper's Spark/GraphX measurements (Section V;
+see docs/ARCHITECTURE.md) and
 is deliberately built so that the two causal relationships demonstrated in
 Section III of the paper hold:
 

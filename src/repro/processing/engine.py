@@ -3,7 +3,8 @@
 The engine runs a vertex-centric algorithm superstep by superstep, charging
 each superstep's simulated compute and communication time through the
 :class:`~repro.processing.cost_model.PartitionedGraphCostModel`.  It is the
-stand-in for the paper's Spark/GraphX cluster (DESIGN.md §2).
+stand-in for the Spark/GraphX clusters of the paper's evaluation (Section V);
+``docs/ARCHITECTURE.md`` describes where the simulator sits in the pipeline.
 """
 
 from __future__ import annotations

@@ -1,0 +1,40 @@
+"""Job-based profiling runtime (jobs, artifact store, parallel executor).
+
+The runtime turns the EASE profiling grid — every training graph partitioned
+by every candidate partitioner at every ``k`` and processed under every
+workload — into explicit, typed jobs with content-addressed keys.  Independent
+jobs run on a process pool, shared artifacts (partition assignments, graph
+properties, quality metrics) are computed once and reused between the quality
+and processing phases, and results merge deterministically so a parallel run
+is indistinguishable from a sequential one.
+"""
+
+from .artifacts import ArtifactStore
+from .jobs import (
+    GraphRef,
+    PartitionJob,
+    ProcessingJob,
+    ProfilePlan,
+    PropertiesJob,
+    QualityJob,
+    WorkUnit,
+    build_plan,
+    graph_fingerprint,
+)
+from .executor import ProfileExecutor, ProfileRunStats, build_dataset
+
+__all__ = [
+    "ArtifactStore",
+    "GraphRef",
+    "PartitionJob",
+    "ProcessingJob",
+    "ProfilePlan",
+    "PropertiesJob",
+    "QualityJob",
+    "WorkUnit",
+    "build_plan",
+    "graph_fingerprint",
+    "ProfileExecutor",
+    "ProfileRunStats",
+    "build_dataset",
+]

@@ -1,0 +1,119 @@
+"""Content-addressed artifact store for the profiling runtime.
+
+Profiling artifacts — partition assignments, graph properties, quality
+metrics, simulated run-times — are pure functions of their content-addressed
+key (graph fingerprint, partitioner, ``k``, seed, …).  The store keeps them in
+memory for reuse within a run and, when a ``cache_dir`` is given, mirrors
+them to disk so later runs (or worker processes of the same run) can skip the
+computation entirely.
+
+Disk layout: ``<cache_dir>/<kind>/<sha256(key)>.pkl``, one pickle per
+artifact, written atomically (temp file + rename) so concurrent workers can
+share a cache directory without locking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ArtifactStore"]
+
+#: Artifact keys are flat tuples whose first element names the artifact kind.
+ArtifactKey = Tuple[Any, ...]
+
+#: Kinds never retained in memory: partition assignments are |E|-sized and
+#: each one is only consumed by the single work unit that owns it, so keeping
+#: them resident for the whole run would regress peak memory from "one
+#: partition at a time" (the sequential profiler) to the whole grid.  They
+#: still go to disk for cross-run reuse when a cache_dir is configured.
+TRANSIENT_KINDS = frozenset({"partition"})
+
+
+def _key_digest(key: ArtifactKey) -> str:
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """In-memory dictionary with an optional on-disk mirror.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the on-disk mirror; ``None`` keeps the store purely
+        in-memory (artifacts then only live for the duration of one run).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self._memory: Dict[ArtifactKey, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: ArtifactKey) -> Optional[str]:
+        """On-disk path of ``key`` (``None`` for in-memory-only stores)."""
+        if self.cache_dir is None:
+            return None
+        kind = str(key[0]) if key else "artifact"
+        return os.path.join(self.cache_dir, kind, f"{_key_digest(key)}.pkl")
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        if key in self._memory:
+            return True
+        path = self.path_for(key)
+        return path is not None and os.path.exists(path)
+
+    def get(self, key: ArtifactKey) -> Optional[Any]:
+        """Return the artifact stored under ``key`` or ``None``."""
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        path = self.path_for(key)
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except Exception:
+                # A truncated artifact (e.g. interrupted writer on a
+                # filesystem without atomic rename) is treated as absent.
+                self.misses += 1
+                return None
+            if not self._is_transient(key):
+                self._memory[key] = value
+            self.hits += 1
+            return value
+        self.misses += 1
+        return None
+
+    def put(self, key: ArtifactKey, value: Any) -> Any:
+        """Store ``value`` under ``key`` (memory and, if configured, disk)."""
+        if not self._is_transient(key):
+            self._memory[key] = value
+        path = self.path_for(key)
+        if path is not None:
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle)
+                os.replace(temp_path, path)
+            except BaseException:
+                if os.path.exists(temp_path):
+                    os.remove(temp_path)
+                raise
+        return value
+
+    @staticmethod
+    def _is_transient(key: ArtifactKey) -> bool:
+        return bool(key) and key[0] in TRANSIENT_KINDS
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters and the number of artifacts held in memory."""
+        return {"hits": self.hits, "misses": self.misses,
+                "in_memory": len(self._memory)}

@@ -1,0 +1,512 @@
+"""Parallel executor and deterministic merge of the profiling runtime.
+
+Execution model
+---------------
+The plan's :class:`~repro.runtime.jobs.WorkUnit` is the unit of dispatch: one
+``(graph, partitioner, k)`` combination whose partition artifact is shared by
+the quality metrics, the partitioning run-time samples and every workload
+execution of that combination.  Units are independent of each other, so they
+run in any order on a :class:`concurrent.futures.ProcessPoolExecutor`
+(``jobs > 1``) or inline (``jobs == 1``); the merge step
+(:func:`build_dataset`) replays the plan's corpus order, which makes the
+resulting :class:`~repro.ease.dataset.ProfileDataset` identical to a
+sequential run regardless of completion order.
+
+Artifacts and caching
+---------------------
+Every intermediate value is looked up in an :class:`ArtifactStore` before it
+is computed.  With a ``cache_dir``, artifacts persist across runs: a warm
+re-run of the same grid partitions nothing and only replays the merge.  The
+partitioning run-time is only cached in ``"model"`` mode — wall-clock
+measurements are remeasured by design (and the measurement itself re-runs the
+partitioner, which is excluded from the partition-count accounting).
+
+Checkpoint / resume
+-------------------
+With a ``checkpoint_path``, completed unit payloads are incrementally
+pickled; a later run with the same path skips them and completes the rest,
+after which :func:`build_dataset` emits the full dataset in canonical order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..graph import Graph
+from ..partitioning import (
+    EdgePartition,
+    compute_quality_metrics,
+    create_partitioner,
+)
+from ..processing import ProcessingEngine, create_algorithm
+from .artifacts import ArtifactStore
+from .jobs import ProfilePlan, PropertiesJob, WorkUnit
+
+__all__ = [
+    "AVERAGE_ITERATION_ALGORITHMS",
+    "ProfileExecutor",
+    "ProfileRunStats",
+    "build_dataset",
+]
+
+#: Algorithms whose prediction target is the average iteration time (their
+#: per-iteration load is constant and the iteration count is a parameter);
+#: all others are predicted by their total time to convergence (Section V-C).
+AVERAGE_ITERATION_ALGORITHMS = frozenset(
+    {"pagerank", "label_propagation", "synthetic_low", "synthetic_high"})
+
+_CHECKPOINT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side job execution (top level so it pickles into pool workers)
+# --------------------------------------------------------------------------- #
+def _compute_properties(graph: Graph, job: PropertiesJob,
+                        store: ArtifactStore):
+    from ..graph import compute_properties
+
+    cached = store.get(job.key)
+    if cached is not None:
+        return cached, False
+    properties = compute_properties(graph,
+                                    exact_triangles=job.exact_triangles,
+                                    seed=job.seed)
+    store.put(job.key, properties)
+    return properties, True
+
+
+def _partitioning_seconds(graph: Graph, graph_name: str, unit: WorkUnit,
+                          store: ArtifactStore) -> float:
+    from ..ease.partitioning_cost import (
+        PartitioningCostModel,
+        measure_wall_clock_partitioning_time,
+    )
+
+    if unit.time_mode == "wall_clock":
+        return measure_wall_clock_partitioning_time(
+            graph, unit.partitioner, unit.num_partitions, seed=unit.seed)
+    timing_key = unit.quality_job(graph_name).timing_key
+    cached = store.get(timing_key)
+    if cached is not None:
+        return cached
+    # The simulated run-time jitters deterministically per graph *name*
+    # (mimicking run-to-run variance); evaluate the cost model under the name
+    # of the corpus entry that asked, not of the representative graph object.
+    original_name = graph.name
+    try:
+        graph.name = graph_name
+        seconds = PartitioningCostModel().estimate_seconds(
+            graph, unit.partitioner, unit.num_partitions)
+    finally:
+        graph.name = original_name
+    return store.put(timing_key, seconds)
+
+
+def _execute_unit(graph: Graph, unit: WorkUnit,
+                  store: ArtifactStore) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"quality": None, "timing": {},
+                               "processing": {}, "partitions_computed": 0}
+    partition: Optional[EdgePartition] = None
+
+    def resolve_partition() -> EdgePartition:
+        nonlocal partition
+        if partition is None:
+            key = unit.partition_job().key
+            assignment = store.get(key)
+            if assignment is None:
+                partitioner = create_partitioner(unit.partitioner,
+                                                 seed=unit.seed)
+                partition = partitioner(graph, unit.num_partitions)
+                payload["partitions_computed"] += 1
+                store.put(key, partition.assignment)
+            else:
+                partition = EdgePartition(graph, unit.num_partitions,
+                                          assignment, unit.partitioner)
+        return partition
+
+    quality_key = unit.quality_job(graph.name).quality_key
+    metrics = store.get(quality_key)
+    if metrics is None:
+        metrics = compute_quality_metrics(resolve_partition()).as_dict()
+        store.put(quality_key, metrics)
+    payload["quality"] = metrics
+
+    for graph_name in unit.timing_names:
+        payload["timing"][graph_name] = _partitioning_seconds(
+            graph, graph_name, unit, store)
+
+    for algorithm_name in unit.algorithms:
+        key = unit.processing_job(algorithm_name).key
+        result = store.get(key)
+        if result is None:
+            engine = ProcessingEngine(unit.cluster)
+            algorithm = create_algorithm(algorithm_name, seed=unit.seed)
+            outcome = engine.run(resolve_partition(), algorithm)
+            result = {
+                "total_seconds": outcome.total_seconds,
+                "num_supersteps": outcome.num_supersteps,
+                "average_iteration_seconds":
+                    outcome.average_iteration_seconds,
+            }
+            store.put(key, result)
+        payload["processing"][algorithm_name] = result
+    return payload
+
+
+#: Per-worker state installed by :func:`_init_worker`: the graphs of the
+#: current plan (keyed by fingerprint) and the cache directory.  Shipping the
+#: edge arrays once per worker instead of once per task keeps the IPC volume
+#: proportional to the corpus, not to the grid, and lets a worker reuse a
+#: graph's cached adjacency views across its units.
+_WORKER_GRAPHS: Dict[str, Graph] = {}
+_WORKER_CACHE_DIR: Optional[str] = None
+
+
+def _init_worker(graph_arrays: Dict[str, Tuple],
+                 cache_dir: Optional[str]) -> None:
+    global _WORKER_GRAPHS, _WORKER_CACHE_DIR
+    _WORKER_GRAPHS = {
+        fingerprint: Graph(src, dst, num_vertices=num_vertices, name=name,
+                           graph_type=graph_type)
+        for fingerprint, (src, dst, num_vertices, name, graph_type)
+        in graph_arrays.items()}
+    _WORKER_CACHE_DIR = cache_dir
+
+
+def _run_task(task) -> Tuple[Any, Any]:
+    """Pool entry point: execute one properties job or one work unit."""
+    kind, key, fingerprint, job = task
+    graph = _WORKER_GRAPHS[fingerprint]
+    store = ArtifactStore(_WORKER_CACHE_DIR)
+    if kind == "properties":
+        properties, computed = _compute_properties(graph, job, store)
+        return key, {"properties": properties,
+                     "properties_computed": int(computed)}
+    return key, _execute_unit(graph, job, store)
+
+
+# --------------------------------------------------------------------------- #
+# Run accounting
+# --------------------------------------------------------------------------- #
+@dataclass
+class ProfileRunStats:
+    """Job-count accounting of one profiling run.
+
+    ``partition_slots_enumerated`` counts grid slots as the sequential
+    profiler would execute them (one partitioning each);
+    ``unique_partition_jobs`` counts the deduplicated jobs after
+    content-addressing; ``partitions_computed`` counts the partitioner
+    invocations that actually happened (0 on a fully warm cache).
+    """
+
+    total_units: int = 0
+    executed_units: int = 0
+    cache_hit_units: int = 0
+    checkpoint_units: int = 0
+    partitions_computed: int = 0
+    partition_slots_enumerated: int = 0
+    unique_partition_jobs: int = 0
+    duplicate_partitions_avoided: int = 0
+    properties_total: int = 0
+    properties_computed: int = 0
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of work units fully served by the artifact cache."""
+        if self.total_units == 0:
+            return 0.0
+        return self.cache_hit_units / self.total_units
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_units": self.total_units,
+            "executed_units": self.executed_units,
+            "cache_hit_units": self.cache_hit_units,
+            "checkpoint_units": self.checkpoint_units,
+            "cache_hit_rate": self.cache_hit_rate(),
+            "partitions_computed": self.partitions_computed,
+            "partition_slots_enumerated": self.partition_slots_enumerated,
+            "unique_partition_jobs": self.unique_partition_jobs,
+            "duplicate_partitions_avoided": self.duplicate_partitions_avoided,
+            "properties_total": self.properties_total,
+            "properties_computed": self.properties_computed,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Checkpoints
+# --------------------------------------------------------------------------- #
+def save_checkpoint(path: str, payloads: Dict[Any, Any]) -> None:
+    """Atomically persist completed job payloads for later resumption."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump({"format_version": _CHECKPOINT_VERSION,
+                         "kind": "profile_checkpoint",
+                         "payloads": payloads}, handle)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.remove(temp_path)
+        raise
+
+
+def load_checkpoint(path: str) -> Dict[Any, Any]:
+    """Load a checkpoint written by :func:`save_checkpoint` (or ``{}``)."""
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception:
+        return {}
+    if (not isinstance(payload, dict)
+            or payload.get("kind") != "profile_checkpoint"
+            or payload.get("format_version") != _CHECKPOINT_VERSION):
+        return {}
+    return dict(payload.get("payloads", {}))
+
+
+# --------------------------------------------------------------------------- #
+# Executor
+# --------------------------------------------------------------------------- #
+class ProfileExecutor:
+    """Runs a :class:`ProfilePlan` and returns payloads plus accounting.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes; ``1`` executes inline (no pool, no
+        pickling) and is the right choice for small grids.
+    cache_dir:
+        Optional artifact cache directory shared by parent and workers.
+    checkpoint_path:
+        Optional path for incremental payload checkpoints; if the file
+        already exists, its completed jobs are skipped (resume).
+    checkpoint_every:
+        Write the checkpoint after this many newly completed units.  Each
+        write rewrites the whole (small, scalar-only) payload dict, so the
+        default batches writes instead of paying one rewrite per unit on
+        large grids; a final write always happens at the end of the run.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_every: int = 16) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+
+    # ------------------------------------------------------------------ #
+    def run(self, plan: ProfilePlan
+            ) -> Tuple[Dict[Any, Any], ProfileRunStats]:
+        store = ArtifactStore(self.cache_dir)
+        checkpoint: Dict[Any, Any] = {}
+        if self.checkpoint_path:
+            checkpoint = load_checkpoint(self.checkpoint_path)
+
+        units = plan.work_units()
+        properties_jobs = plan.properties_jobs()
+        stats = ProfileRunStats(
+            total_units=len(units),
+            partition_slots_enumerated=plan.enumerated_partition_slots(),
+            unique_partition_jobs=len(units),
+            duplicate_partitions_avoided=(plan.enumerated_partition_slots()
+                                          - len(units)),
+            properties_total=len(properties_jobs))
+
+        results: Dict[Any, Any] = {}
+        tasks: List[Tuple] = []
+
+        for job in properties_jobs:
+            if job.key in checkpoint:
+                results[job.key] = checkpoint[job.key]["properties"]
+            elif job.key in store:
+                results[job.key] = store.get(job.key)
+            else:
+                tasks.append(("properties", job.key, job.graph_fingerprint,
+                              job))
+
+        for unit in units:
+            result_key = (unit.graph_fingerprint, unit.partitioner,
+                          unit.num_partitions)
+            if unit in checkpoint:
+                results[result_key] = checkpoint[unit]
+                stats.checkpoint_units += 1
+            else:
+                payload = self._unit_payload_from_store(store, unit)
+                if payload is not None:
+                    results[result_key] = payload
+                    stats.cache_hit_units += 1
+                else:
+                    tasks.append(("unit", result_key,
+                                  unit.graph_fingerprint, unit))
+
+        completed_since_checkpoint = 0
+        for key, job, payload in self._execute(tasks, store, plan):
+            if isinstance(job, PropertiesJob):
+                results[key] = payload["properties"]
+                stats.properties_computed += payload["properties_computed"]
+                checkpoint[job.key] = payload
+            else:
+                results[key] = payload
+                stats.executed_units += 1
+                stats.partitions_computed += payload["partitions_computed"]
+                checkpoint[job] = payload
+            completed_since_checkpoint += 1
+            if (self.checkpoint_path
+                    and completed_since_checkpoint >= self.checkpoint_every):
+                save_checkpoint(self.checkpoint_path, checkpoint)
+                completed_since_checkpoint = 0
+        if self.checkpoint_path and completed_since_checkpoint:
+            save_checkpoint(self.checkpoint_path, checkpoint)
+        return results, stats
+
+    # ------------------------------------------------------------------ #
+    def _execute(self, tasks: List[Tuple], store: ArtifactStore,
+                 plan: ProfilePlan):
+        if not tasks:
+            return
+        if self.jobs == 1:
+            # Inline: operate on the original graph objects (their cached
+            # adjacency views persist across units) and the parent store, so
+            # artifacts are shared across units without any serialization.
+            for kind, key, fingerprint, job in tasks:
+                graph = plan.graphs[fingerprint]
+                if kind == "properties":
+                    properties, computed = _compute_properties(graph, job,
+                                                               store)
+                    yield key, job, {"properties": properties,
+                                     "properties_computed": int(computed)}
+                else:
+                    yield key, job, _execute_unit(graph, job, store)
+            return
+        jobs_by_key = {task[1]: task[3] for task in tasks}
+        needed = {fingerprint for _, _, fingerprint, _ in tasks}
+        graph_arrays = {fingerprint: self._graph_arrays(plan, fingerprint)
+                        for fingerprint in needed}
+        with ProcessPoolExecutor(max_workers=self.jobs,
+                                 initializer=_init_worker,
+                                 initargs=(graph_arrays,
+                                           self.cache_dir)) as pool:
+            pending = {pool.submit(_run_task, task) for task in tasks}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, payload = future.result()
+                    yield key, jobs_by_key[key], payload
+
+    @staticmethod
+    def _graph_arrays(plan: ProfilePlan, fingerprint: str):
+        graph = plan.graphs[fingerprint]
+        return (graph.src, graph.dst, graph.num_vertices, graph.name,
+                graph.graph_type)
+
+    @staticmethod
+    def _unit_payload_from_store(store: ArtifactStore,
+                                 unit: WorkUnit) -> Optional[Dict[str, Any]]:
+        """Assemble a unit payload purely from cached artifacts, if possible.
+
+        Wall-clock timing is never cached (re-measuring is the point of that
+        mode), so such units always execute.
+        """
+        if unit.time_mode != "model":
+            return None
+        needed = [unit.quality_job(unit.timing_names[0]).quality_key]
+        needed.extend(unit.quality_job(name).timing_key
+                      for name in unit.timing_names)
+        needed.extend(unit.processing_job(algorithm).key
+                      for algorithm in unit.algorithms)
+        if not all(key in store for key in needed):
+            return None
+        payload: Dict[str, Any] = {"partitions_computed": 0}
+        payload["quality"] = store.get(needed[0])
+        payload["timing"] = {name: store.get(unit.quality_job(name).timing_key)
+                             for name in unit.timing_names}
+        payload["processing"] = {
+            algorithm: store.get(unit.processing_job(algorithm).key)
+            for algorithm in unit.algorithms}
+        return payload
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic merge
+# --------------------------------------------------------------------------- #
+def build_dataset(plan: ProfilePlan, results: Dict[Any, Any],
+                  progress=None) -> "ProfileDataset":
+    """Merge executed payloads into a dataset in sequential-profiler order.
+
+    Records are emitted by replaying the plan's corpus order — quality grid
+    first (graph, partitioner, ``k`` loops), then the processing phase — so
+    the dataset is byte-identical to a sequential run regardless of the
+    order in which units completed.
+    """
+    from ..ease.dataset import (
+        PartitioningTimeRecord,
+        ProcessingRecord,
+        ProfileDataset,
+        QualityRecord,
+    )
+
+    properties_of = {job.graph_fingerprint: results[job.key]
+                     for job in plan.properties_jobs()}
+    dataset = ProfileDataset()
+
+    for ref in plan.quality_refs:
+        properties = properties_of[ref.fingerprint]
+        for partitioner in plan.partitioner_names:
+            for k in plan.partition_counts:
+                payload = results[(ref.fingerprint, partitioner, k)]
+                metrics = dict(payload["quality"])
+                dataset.quality.append(QualityRecord(
+                    graph_name=ref.name, graph_type=ref.graph_type,
+                    properties=properties, partitioner=partitioner,
+                    num_partitions=k, metrics=metrics))
+                dataset.partitioning_time.append(PartitioningTimeRecord(
+                    graph_name=ref.name, graph_type=ref.graph_type,
+                    properties=properties, partitioner=partitioner,
+                    num_partitions=k, seconds=payload["timing"][ref.name]))
+            if progress is not None:
+                progress(ref.name, partitioner)
+
+    k = plan.processing_k
+    for ref in plan.processing_refs:
+        properties = properties_of[ref.fingerprint]
+        for partitioner in plan.partitioner_names:
+            payload = results[(ref.fingerprint, partitioner, k)]
+            metrics = dict(payload["quality"])
+            dataset.quality.append(QualityRecord(
+                graph_name=ref.name, graph_type=ref.graph_type,
+                properties=properties, partitioner=partitioner,
+                num_partitions=k, metrics=metrics))
+            dataset.partitioning_time.append(PartitioningTimeRecord(
+                graph_name=ref.name, graph_type=ref.graph_type,
+                properties=properties, partitioner=partitioner,
+                num_partitions=k, seconds=payload["timing"][ref.name]))
+            for algorithm in plan.algorithm_names:
+                outcome = payload["processing"][algorithm]
+                if algorithm in AVERAGE_ITERATION_ALGORITHMS:
+                    target_seconds = outcome["average_iteration_seconds"]
+                else:
+                    target_seconds = outcome["total_seconds"]
+                dataset.processing.append(ProcessingRecord(
+                    graph_name=ref.name, graph_type=ref.graph_type,
+                    properties=properties, partitioner=partitioner,
+                    num_partitions=k, algorithm=algorithm, metrics=metrics,
+                    target_seconds=target_seconds,
+                    total_seconds=outcome["total_seconds"],
+                    num_supersteps=outcome["num_supersteps"]))
+            if progress is not None:
+                progress(ref.name, partitioner)
+    return dataset

@@ -1,0 +1,361 @@
+"""Typed job enumeration of the EASE profiling grid.
+
+The profiling phase of the paper (Figure 5, steps 2-3) is a dense grid:
+every training graph is partitioned by every candidate partitioner at every
+``k``, quality metrics and partitioning run-time are recorded, and at the
+processing ``k`` every workload is executed on the partitioned graph.  This
+module enumerates that grid as explicit job records with content-addressed
+keys:
+
+* :class:`PartitionJob` — produce the edge-partition assignment of one
+  ``(graph, partitioner, k)`` combination;
+* :class:`QualityJob` — quality metrics + partitioning run-time for one
+  combination (consumes the partition artifact);
+* :class:`ProcessingJob` — one workload execution on one partitioned graph
+  (consumes the same partition artifact);
+* :class:`PropertiesJob` — the :class:`~repro.graph.GraphProperties` of one
+  graph.
+
+Keys are tuples rooted at the *content* fingerprint of the graph, so two
+corpus entries with identical edge arrays share every artifact, and the
+quality and processing phases share partitions instead of re-partitioning.
+The one exception is the partitioning *run-time*, whose simulated jitter
+depends on the graph name (see :mod:`repro.ease.partitioning_cost`); its key
+therefore carries the graph name as well.
+
+:class:`WorkUnit` groups the jobs of one ``(graph, partitioner, k)``
+combination into the unit of parallel execution, so the partition is computed
+once per unit even when both phases (or several workloads) need it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+from ..processing import ClusterSpec
+
+__all__ = [
+    "graph_fingerprint",
+    "GraphRef",
+    "PropertiesJob",
+    "PartitionJob",
+    "QualityJob",
+    "ProcessingJob",
+    "WorkUnit",
+    "ProfilePlan",
+    "build_plan",
+]
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content fingerprint of a graph (independent of its name/type labels).
+
+    Two graphs with identical vertex counts and edge arrays share all
+    content-addressed artifacts (partitions, properties, quality metrics,
+    processing results).
+    """
+    digest = hashlib.sha256()
+    digest.update(b"graph-v1:")
+    digest.update(str(graph.num_vertices).encode("ascii"))
+    digest.update(b":")
+    digest.update(np.ascontiguousarray(graph.src, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.dst, dtype=np.int64).tobytes())
+    return digest.hexdigest()[:20]
+
+
+def _cluster_signature(cluster: Optional[ClusterSpec]):
+    if cluster is None:
+        return None
+    return (cluster.num_machines, cluster.edge_compute_cost,
+            cluster.vertex_compute_cost, cluster.network_bandwidth,
+            cluster.network_latency)
+
+
+@dataclass(frozen=True)
+class GraphRef:
+    """Reference to one corpus entry: record labels plus the content key."""
+
+    name: str
+    graph_type: str
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class PropertiesJob:
+    """Compute the :class:`GraphProperties` of one graph."""
+
+    graph_fingerprint: str
+    exact_triangles: bool
+    seed: int
+
+    @property
+    def key(self):
+        return ("properties", self.graph_fingerprint, self.exact_triangles,
+                self.seed)
+
+
+@dataclass(frozen=True)
+class PartitionJob:
+    """Partition one graph with one partitioner at one ``k``."""
+
+    graph_fingerprint: str
+    partitioner: str
+    num_partitions: int
+    seed: int
+
+    @property
+    def key(self):
+        return ("partition", self.graph_fingerprint, self.partitioner,
+                self.num_partitions, self.seed)
+
+
+@dataclass(frozen=True)
+class QualityJob:
+    """Quality metrics and partitioning run-time of one combination.
+
+    ``graph_name`` is carried for the run-time key only (the simulated
+    partitioning time jitters deterministically per graph *name*); the
+    quality metrics themselves are keyed purely by content.
+    """
+
+    graph_fingerprint: str
+    graph_name: str
+    partitioner: str
+    num_partitions: int
+    seed: int
+    time_mode: str
+
+    def partition_job(self) -> PartitionJob:
+        return PartitionJob(self.graph_fingerprint, self.partitioner,
+                            self.num_partitions, self.seed)
+
+    @property
+    def quality_key(self):
+        return ("quality", self.graph_fingerprint, self.partitioner,
+                self.num_partitions, self.seed)
+
+    @property
+    def timing_key(self):
+        return ("partitioning_time", self.graph_fingerprint, self.graph_name,
+                self.partitioner, self.num_partitions, self.seed,
+                self.time_mode)
+
+
+@dataclass(frozen=True)
+class ProcessingJob:
+    """Run one workload on one partitioned graph in the simulator."""
+
+    graph_fingerprint: str
+    partitioner: str
+    num_partitions: int
+    algorithm: str
+    seed: int
+    cluster: Optional[ClusterSpec]
+
+    def partition_job(self) -> PartitionJob:
+        return PartitionJob(self.graph_fingerprint, self.partitioner,
+                            self.num_partitions, self.seed)
+
+    @property
+    def key(self):
+        return ("processing", self.graph_fingerprint, self.partitioner,
+                self.num_partitions, self.algorithm, self.seed,
+                _cluster_signature(self.cluster))
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """Unit of parallel execution: all jobs sharing one partition artifact.
+
+    ``timing_names`` lists the distinct graph names that need a partitioning
+    run-time sample for this combination (normally one; more when two corpus
+    entries share content but not names).  ``algorithms`` lists the workloads
+    to execute at this combination (empty for quality-grid-only units).
+    """
+
+    graph_fingerprint: str
+    partitioner: str
+    num_partitions: int
+    seed: int
+    time_mode: str
+    timing_names: Tuple[str, ...]
+    algorithms: Tuple[str, ...]
+    cluster: Optional[ClusterSpec]
+
+    def partition_job(self) -> PartitionJob:
+        return PartitionJob(self.graph_fingerprint, self.partitioner,
+                            self.num_partitions, self.seed)
+
+    def quality_job(self, graph_name: str) -> QualityJob:
+        return QualityJob(self.graph_fingerprint, graph_name,
+                          self.partitioner, self.num_partitions, self.seed,
+                          self.time_mode)
+
+    def processing_job(self, algorithm: str) -> ProcessingJob:
+        return ProcessingJob(self.graph_fingerprint, self.partitioner,
+                             self.num_partitions, algorithm, self.seed,
+                             self.cluster)
+
+
+@dataclass
+class ProfilePlan:
+    """The fully enumerated profiling grid of one run.
+
+    ``quality_refs`` / ``processing_refs`` preserve corpus order; the merge
+    step replays them to emit records in exactly the order of the sequential
+    profiler.  ``graphs`` maps each content fingerprint to one representative
+    :class:`Graph` (the arrays shipped to workers).
+    """
+
+    quality_refs: List[GraphRef]
+    processing_refs: List[GraphRef]
+    graphs: Dict[str, Graph]
+    partitioner_names: Tuple[str, ...]
+    partition_counts: Tuple[int, ...]
+    processing_k: int
+    algorithm_names: Tuple[str, ...]
+    cluster: Optional[ClusterSpec]
+    time_mode: str
+    exact_triangles: bool
+    seed: int
+
+    # ------------------------------------------------------------------ #
+    def properties_jobs(self) -> List[PropertiesJob]:
+        """One properties job per distinct graph content, in corpus order."""
+        jobs: Dict[str, PropertiesJob] = {}
+        for ref in list(self.quality_refs) + list(self.processing_refs):
+            if ref.fingerprint not in jobs:
+                jobs[ref.fingerprint] = PropertiesJob(
+                    ref.fingerprint, self.exact_triangles, self.seed)
+        return list(jobs.values())
+
+    def quality_jobs(self) -> List[QualityJob]:
+        """Every quality-grid slot (including the processing-``k`` slots)."""
+        jobs = []
+        for ref in self.quality_refs:
+            for partitioner in self.partitioner_names:
+                for k in self.partition_counts:
+                    jobs.append(QualityJob(ref.fingerprint, ref.name,
+                                           partitioner, k, self.seed,
+                                           self.time_mode))
+        for ref in self.processing_refs:
+            for partitioner in self.partitioner_names:
+                jobs.append(QualityJob(ref.fingerprint, ref.name, partitioner,
+                                       self.processing_k, self.seed,
+                                       self.time_mode))
+        return jobs
+
+    def processing_jobs(self) -> List[ProcessingJob]:
+        """Every workload execution slot of the processing phase."""
+        jobs = []
+        for ref in self.processing_refs:
+            for partitioner in self.partitioner_names:
+                for algorithm in self.algorithm_names:
+                    jobs.append(ProcessingJob(
+                        ref.fingerprint, partitioner, self.processing_k,
+                        algorithm, self.seed,
+                        self._resolved_cluster(self.processing_k)))
+        return jobs
+
+    def enumerated_partition_slots(self) -> int:
+        """Grid slots that would each partition once in the sequential path."""
+        quality_slots = (len(self.quality_refs) * len(self.partitioner_names)
+                         * len(self.partition_counts))
+        processing_slots = (len(self.processing_refs)
+                            * len(self.partitioner_names))
+        return quality_slots + processing_slots
+
+    def unique_partition_jobs(self) -> List[PartitionJob]:
+        """Deduplicated partition jobs actually needing computation."""
+        return [unit.partition_job() for unit in self.work_units()]
+
+    # ------------------------------------------------------------------ #
+    def _resolved_cluster(self, k: int) -> ClusterSpec:
+        # Mirrors ProcessingEngine._resolve_cluster: by default the simulated
+        # cluster has one machine per partition.
+        if self.cluster is not None:
+            return self.cluster
+        return ClusterSpec(num_machines=k)
+
+    def work_units(self) -> List[WorkUnit]:
+        """Execution units, deduplicated across phases, in deterministic order.
+
+        A combination appearing in both the quality grid and the processing
+        phase (same graph content, partitioner and ``k``) yields a single
+        unit whose partition artifact serves both — this is what eliminates
+        the sequential profiler's double partitioning at the processing
+        ``k``.
+        """
+        pending: Dict[Tuple[str, str, int], Dict] = {}
+
+        def slot(fingerprint: str, partitioner: str, k: int) -> Dict:
+            unit_key = (fingerprint, partitioner, k)
+            if unit_key not in pending:
+                pending[unit_key] = {"timing_names": [], "algorithms": []}
+            return pending[unit_key]
+
+        for ref in self.quality_refs:
+            for partitioner in self.partitioner_names:
+                for k in self.partition_counts:
+                    entry = slot(ref.fingerprint, partitioner, k)
+                    if ref.name not in entry["timing_names"]:
+                        entry["timing_names"].append(ref.name)
+        for ref in self.processing_refs:
+            for partitioner in self.partitioner_names:
+                entry = slot(ref.fingerprint, partitioner, self.processing_k)
+                if ref.name not in entry["timing_names"]:
+                    entry["timing_names"].append(ref.name)
+                for algorithm in self.algorithm_names:
+                    if algorithm not in entry["algorithms"]:
+                        entry["algorithms"].append(algorithm)
+
+        units = []
+        for (fingerprint, partitioner, k), entry in pending.items():
+            cluster = (self._resolved_cluster(k) if entry["algorithms"]
+                       else None)
+            units.append(WorkUnit(
+                graph_fingerprint=fingerprint, partitioner=partitioner,
+                num_partitions=k, seed=self.seed, time_mode=self.time_mode,
+                timing_names=tuple(entry["timing_names"]),
+                algorithms=tuple(entry["algorithms"]), cluster=cluster))
+        return units
+
+
+def build_plan(quality_graphs: Sequence[Graph],
+               processing_graphs: Sequence[Graph],
+               partitioner_names: Sequence[str],
+               partition_counts: Sequence[int],
+               processing_k: int,
+               algorithm_names: Sequence[str],
+               cluster: Optional[ClusterSpec],
+               time_mode: str,
+               exact_triangles: bool,
+               seed: int) -> ProfilePlan:
+    """Enumerate the profiling grid over the two corpora as a plan."""
+    graphs: Dict[str, Graph] = {}
+
+    def refs_of(corpus: Sequence[Graph]) -> List[GraphRef]:
+        refs = []
+        for graph in corpus:
+            fingerprint = graph_fingerprint(graph)
+            graphs.setdefault(fingerprint, graph)
+            refs.append(GraphRef(graph.name, graph.graph_type, fingerprint))
+        return refs
+
+    return ProfilePlan(
+        quality_refs=refs_of(list(quality_graphs)),
+        processing_refs=refs_of(list(processing_graphs)),
+        graphs=graphs,
+        partitioner_names=tuple(partitioner_names),
+        partition_counts=tuple(partition_counts),
+        processing_k=processing_k,
+        algorithm_names=tuple(algorithm_names),
+        cluster=cluster,
+        time_mode=time_mode,
+        exact_triangles=exact_triangles,
+        seed=seed)

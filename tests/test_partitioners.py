@@ -18,6 +18,38 @@ from repro.partitioning import (
 )
 
 
+def _hdrf_full_scan_reference(graph: Graph, k: int,
+                              balance_weight: float = 1.0) -> np.ndarray:
+    """HDRF as originally implemented: max/min recomputed per edge."""
+    partial_degree = np.zeros(graph.num_vertices, dtype=np.int64)
+    replica_mask = np.zeros(graph.num_vertices, dtype=np.int64)
+    partition_sizes = np.zeros(k, dtype=np.int64)
+    assignment = np.empty(graph.num_edges, dtype=np.int64)
+    partition_ids = np.arange(k)
+    for edge_id in range(graph.num_edges):
+        u = int(graph.src[edge_id])
+        v = int(graph.dst[edge_id])
+        partial_degree[u] += 1
+        partial_degree[v] += 1
+        total = partial_degree[u] + partial_degree[v]
+        theta_u = partial_degree[u] / total
+        theta_v = partial_degree[v] / total
+        in_p_u = (replica_mask[u] >> partition_ids) & 1
+        in_p_v = (replica_mask[v] >> partition_ids) & 1
+        replication_score = (in_p_u * (1.0 + (1.0 - theta_u))
+                             + in_p_v * (1.0 + (1.0 - theta_v)))
+        max_size = partition_sizes.max()
+        min_size = partition_sizes.min()
+        balance_score = (balance_weight * (max_size - partition_sizes)
+                         / (1.0 + max_size - min_size))
+        best = int(np.argmax(replication_score + balance_score))
+        assignment[edge_id] = best
+        partition_sizes[best] += 1
+        replica_mask[u] |= np.int64(1) << np.int64(best)
+        replica_mask[v] |= np.int64(1) << np.int64(best)
+    return assignment
+
+
 class TestRegistry:
     def test_eleven_partitioners(self):
         assert len(ALL_PARTITIONER_NAMES) == 11
@@ -127,6 +159,14 @@ class TestDegreeAwarePartitioners:
         rf_hdrf = replication_factor(create_partitioner("hdrf")(graph, 16))
         rf_1dd = replication_factor(create_partitioner("1dd")(graph, 16))
         assert rf_hdrf < rf_1dd
+
+    @pytest.mark.parametrize("seed,k", [(0, 2), (1, 4), (2, 8), (3, 16)])
+    def test_hdrf_matches_full_scan_reference(self, seed, k):
+        # Regression for the incremental max/min size tracking: assignments
+        # must be identical to the original per-edge full-scan formulation.
+        graph = generate_rmat(192, 1500, seed=seed)
+        fast = create_partitioner("hdrf")(graph, k).assignment
+        assert np.array_equal(fast, _hdrf_full_scan_reference(graph, k))
 
     def test_2ps_respects_balance_slack(self, small_rmat_graph):
         from repro.partitioning import TwoPhaseStreamingPartitioner
