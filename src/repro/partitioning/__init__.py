@@ -19,6 +19,14 @@ from .hashing import (
     hash64,
 )
 from .dbh import DegreeBasedHashingPartitioner
+from .kernels import (
+    BITMASK_MAX_PARTITIONS,
+    StreamingScoreState,
+    replication_balance_scores,
+    replication_coefficients,
+    streaming_partial_degrees,
+    use_replica_bitmask,
+)
 from .hdrf import HDRFPartitioner
 from .two_ps import TwoPhaseStreamingPartitioner
 from .ne import NeighborhoodExpansionPartitioner
@@ -47,6 +55,12 @@ __all__ = [
     "TwoDimPartitioner",
     "CanonicalRandomVertexCutPartitioner",
     "hash64",
+    "BITMASK_MAX_PARTITIONS",
+    "StreamingScoreState",
+    "replication_balance_scores",
+    "replication_coefficients",
+    "streaming_partial_degrees",
+    "use_replica_bitmask",
     "DegreeBasedHashingPartitioner",
     "HDRFPartitioner",
     "TwoPhaseStreamingPartitioner",

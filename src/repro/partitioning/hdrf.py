@@ -11,12 +11,15 @@ steers edges toward under-loaded partitions.
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from ..graph import Graph
 from .base import EdgePartition, EdgePartitioner, PartitionerCategory
+from .kernels import (
+    hdrf_kernel_assign,
+    replication_balance_scores,
+    use_replica_bitmask,
+)
 
 __all__ = ["HDRFPartitioner"]
 
@@ -32,22 +35,39 @@ class HDRFPartitioner(EdgePartitioner):
         replication factor).
     seed:
         Used to shuffle tie-breaking order deterministically.
+    use_kernel:
+        Use the blocked scoring kernel (:mod:`.kernels`).  The kernel produces
+        assignments identical to the sequential loop; ``False`` is the escape
+        hatch that keeps the original per-edge formulation.
     """
 
     name = "hdrf"
     category = PartitionerCategory.STATEFUL_STREAMING
 
-    def __init__(self, balance_weight: float = 1.0, seed: int = 0) -> None:
+    def __init__(self, balance_weight: float = 1.0, seed: int = 0,
+                 use_kernel: bool = True) -> None:
         super().__init__(seed=seed)
         self.balance_weight = balance_weight
+        self.use_kernel = use_kernel
 
     def partition(self, graph: Graph, num_partitions: int) -> EdgePartition:
+        if self.use_kernel:
+            assignment = hdrf_kernel_assign(graph.src, graph.dst,
+                                            graph.num_vertices, num_partitions,
+                                            self.balance_weight)
+        else:
+            assignment = self._partition_loop(graph, num_partitions)
+        return EdgePartition(graph, num_partitions, assignment, self.name)
+
+    # ------------------------------------------------------------------ #
+    def _partition_loop(self, graph: Graph, num_partitions: int) -> np.ndarray:
+        """Sequential per-edge formulation (the kernel's reference)."""
         k = num_partitions
         num_vertices = graph.num_vertices
         partial_degree = np.zeros(num_vertices, dtype=np.int64)
-        # replicas[v] is a bitmask of partitions holding v (k <= 64 expected;
-        # falls back to a boolean matrix for larger k).
-        use_bitmask = k <= 63
+        # replicas[v] is a bitmask of partitions holding v; falls back to a
+        # boolean matrix when k exceeds the shared bitmask cutoff.
+        use_bitmask = use_replica_bitmask(k)
         if use_bitmask:
             replica_mask = np.zeros(num_vertices, dtype=np.int64)
         else:
@@ -84,14 +104,10 @@ class HDRFPartitioner(EdgePartitioner):
                 in_p_u = replica_matrix[u]
                 in_p_v = replica_matrix[v]
 
-            replication_score = (in_p_u * (1.0 + (1.0 - theta_u))
-                                 + in_p_v * (1.0 + (1.0 - theta_v)))
-
-            balance_score = (self.balance_weight
-                             * (max_size - partition_sizes)
-                             / (epsilon + max_size - min_size))
-
-            scores = replication_score + balance_score
+            scores = replication_balance_scores(
+                in_p_u, in_p_v, 1.0 + (1.0 - theta_u), 1.0 + (1.0 - theta_v),
+                partition_sizes, max_size, min_size, self.balance_weight,
+                epsilon)
             best = int(np.argmax(scores))
 
             assignment[edge_id] = best
@@ -112,4 +128,4 @@ class HDRFPartitioner(EdgePartitioner):
                 replica_matrix[u, best] = True
                 replica_matrix[v, best] = True
 
-        return EdgePartition(graph, k, assignment, self.name)
+        return assignment

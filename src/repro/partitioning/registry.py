@@ -32,20 +32,24 @@ __all__ = [
     "create_all_partitioners",
 ]
 
-#: Factory per partitioner name.  Each factory takes a seed and returns a
-#: fresh partitioner instance.
-PARTITIONER_FACTORIES: Dict[str, Callable[[int], EdgePartitioner]] = {
-    "1dd": lambda seed=0: OneDimDestinationPartitioner(seed=seed),
-    "1ds": lambda seed=0: OneDimSourcePartitioner(seed=seed),
-    "2d": lambda seed=0: TwoDimPartitioner(seed=seed),
-    "crvc": lambda seed=0: CanonicalRandomVertexCutPartitioner(seed=seed),
-    "dbh": lambda seed=0: DegreeBasedHashingPartitioner(seed=seed),
-    "hdrf": lambda seed=0: HDRFPartitioner(seed=seed),
-    "2ps": lambda seed=0: TwoPhaseStreamingPartitioner(seed=seed),
-    "ne": lambda seed=0: NeighborhoodExpansionPartitioner(seed=seed),
-    "hep1": lambda seed=0: HybridEdgePartitioner(tau=1.0, seed=seed),
-    "hep10": lambda seed=0: HybridEdgePartitioner(tau=10.0, seed=seed),
-    "hep100": lambda seed=0: HybridEdgePartitioner(tau=100.0, seed=seed),
+#: Factory per partitioner name.  Each factory takes a seed (plus optional
+#: partitioner-specific keyword overrides, e.g. ``use_kernel=False`` for the
+#: stateful streaming partitioners) and returns a fresh partitioner instance.
+PARTITIONER_FACTORIES: Dict[str, Callable[..., EdgePartitioner]] = {
+    "1dd": lambda seed=0, **kw: OneDimDestinationPartitioner(seed=seed, **kw),
+    "1ds": lambda seed=0, **kw: OneDimSourcePartitioner(seed=seed, **kw),
+    "2d": lambda seed=0, **kw: TwoDimPartitioner(seed=seed, **kw),
+    "crvc": lambda seed=0, **kw: CanonicalRandomVertexCutPartitioner(
+        seed=seed, **kw),
+    "dbh": lambda seed=0, **kw: DegreeBasedHashingPartitioner(seed=seed, **kw),
+    "hdrf": lambda seed=0, **kw: HDRFPartitioner(seed=seed, **kw),
+    "2ps": lambda seed=0, **kw: TwoPhaseStreamingPartitioner(seed=seed, **kw),
+    "ne": lambda seed=0, **kw: NeighborhoodExpansionPartitioner(seed=seed, **kw),
+    "hep1": lambda seed=0, **kw: HybridEdgePartitioner(tau=1.0, seed=seed, **kw),
+    "hep10": lambda seed=0, **kw: HybridEdgePartitioner(tau=10.0, seed=seed,
+                                                        **kw),
+    "hep100": lambda seed=0, **kw: HybridEdgePartitioner(tau=100.0, seed=seed,
+                                                         **kw),
 }
 
 #: The eleven partitioner names in the order used by the paper's figures.
@@ -55,15 +59,21 @@ ALL_PARTITIONER_NAMES: Sequence[str] = (
 )
 
 
-def create_partitioner(name: str, seed: int = 0) -> EdgePartitioner:
-    """Instantiate a partitioner by registry name."""
+def create_partitioner(name: str, seed: int = 0,
+                       **overrides) -> EdgePartitioner:
+    """Instantiate a partitioner by registry name.
+
+    ``overrides`` are forwarded to the partitioner constructor (e.g.
+    ``use_kernel=False`` to select the sequential-loop escape hatch of the
+    stateful streaming partitioners).
+    """
     try:
         factory = PARTITIONER_FACTORIES[name]
     except KeyError as error:
         raise ValueError(
             f"unknown partitioner {name!r}; known partitioners: "
             f"{sorted(PARTITIONER_FACTORIES)}") from error
-    return factory(seed)
+    return factory(seed, **overrides)
 
 
 def create_all_partitioners(names: Sequence[str] = ALL_PARTITIONER_NAMES,

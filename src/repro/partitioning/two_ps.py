@@ -17,12 +17,15 @@ close to single-pass streaming, matching the positioning of 2PS in Figure 1.
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 import numpy as np
 
 from ..graph import Graph
 from .base import EdgePartition, EdgePartitioner, PartitionerCategory
+from .kernels import (
+    replication_balance_scores,
+    two_ps_kernel_assign,
+    use_replica_bitmask,
+)
 
 __all__ = ["TwoPhaseStreamingPartitioner"]
 
@@ -37,29 +40,37 @@ class TwoPhaseStreamingPartitioner(EdgePartitioner):
         ``alpha * |E| / k`` edges).
     balance_weight:
         Weight of the balance term in the fallback scoring.
+    use_kernel:
+        Use the blocked scoring kernel (:mod:`.kernels`).  The kernel produces
+        assignments identical to the sequential loop; ``False`` is the escape
+        hatch that keeps the original per-edge formulation.
     """
 
     name = "2ps"
     category = PartitionerCategory.STATEFUL_STREAMING
 
     def __init__(self, balance_slack: float = 1.05, balance_weight: float = 1.0,
-                 seed: int = 0) -> None:
+                 seed: int = 0, use_kernel: bool = True) -> None:
         super().__init__(seed=seed)
         self.balance_slack = balance_slack
         self.balance_weight = balance_weight
+        self.use_kernel = use_kernel
 
     # ------------------------------------------------------------------ #
     def _clustering_phase(self, graph: Graph, capacity: float) -> np.ndarray:
-        """Streaming clustering: merge endpoints toward the larger cluster."""
-        num_vertices = graph.num_vertices
-        cluster_of = np.arange(num_vertices, dtype=np.int64)
-        # Cluster volume = sum of degrees of member vertices seen so far.
-        volume = np.zeros(num_vertices, dtype=np.float64)
+        """Streaming clustering: merge endpoints toward the larger cluster.
 
-        for edge_id in range(graph.num_edges):
-            u = int(graph.src[edge_id])
-            v = int(graph.dst[edge_id])
-            cu, cv = int(cluster_of[u]), int(cluster_of[v])
+        Shared by the kernel and loop paths: the arithmetic is on Python
+        scalars (unboxed lists) for speed, which produces the same IEEE-754
+        sequence as the original numpy-scalar formulation.
+        """
+        num_vertices = graph.num_vertices
+        cluster_of = list(range(num_vertices))
+        # Cluster volume = sum of degrees of member vertices seen so far.
+        volume = [0.0] * num_vertices
+        for u, v in zip(graph.src.tolist(), graph.dst.tolist()):
+            cu = cluster_of[u]
+            cv = cluster_of[v]
             volume[cu] += 1.0
             volume[cv] += 1.0
             if cu == cv:
@@ -73,8 +84,9 @@ class TwoPhaseStreamingPartitioner(EdgePartitioner):
             if volume[big] + 1.0 <= capacity:
                 cluster_of[small_vertex] = big
                 volume[big] += 1.0
-                volume[small] = max(0.0, volume[small] - 1.0)
-        return cluster_of
+                shrunk = volume[small] - 1.0
+                volume[small] = shrunk if shrunk > 0.0 else 0.0
+        return np.asarray(cluster_of, dtype=np.int64)
 
     def _pack_clusters(self, cluster_of: np.ndarray, degrees: np.ndarray,
                        num_partitions: int) -> np.ndarray:
@@ -103,9 +115,26 @@ class TwoPhaseStreamingPartitioner(EdgePartitioner):
         cluster_partition = self._pack_clusters(cluster_of, degrees, k)
         preferred = cluster_partition[cluster_of]
 
+        if self.use_kernel:
+            assignment = two_ps_kernel_assign(
+                graph.src, graph.dst, graph.num_vertices, k, preferred,
+                capacity, self.balance_weight)
+        else:
+            assignment = self._assign_loop(graph, k, preferred, capacity)
+        return EdgePartition(graph, k, assignment, self.name)
+
+    # ------------------------------------------------------------------ #
+    def _assign_loop(self, graph: Graph, k: int, preferred: np.ndarray,
+                     capacity: float) -> np.ndarray:
+        """Sequential per-edge formulation (the kernel's reference)."""
+        num_edges = graph.num_edges
         assignment = np.empty(num_edges, dtype=np.int64)
         partition_sizes = np.zeros(k, dtype=np.int64)
-        replica_mask = np.zeros(graph.num_vertices, dtype=np.int64)
+        use_bitmask = use_replica_bitmask(k)
+        if use_bitmask:
+            replica_mask = np.zeros(graph.num_vertices, dtype=np.int64)
+        else:
+            replica_matrix = np.zeros((graph.num_vertices, k), dtype=bool)
         partial_degree = np.zeros(graph.num_vertices, dtype=np.int64)
         partition_ids = np.arange(k)
         epsilon = 1.0
@@ -133,23 +162,33 @@ class TwoPhaseStreamingPartitioner(EdgePartitioner):
                 deg_u, deg_v = partial_degree[u], partial_degree[v]
                 theta_u = deg_u / (deg_u + deg_v)
                 theta_v = 1.0 - theta_u
-                in_p_u = (replica_mask[u] >> partition_ids) & 1
-                in_p_v = (replica_mask[v] >> partition_ids) & 1
-                replication_score = (in_p_u * (1.0 + (1.0 - theta_u))
-                                     + in_p_v * (1.0 + (1.0 - theta_v)))
-                max_size = partition_sizes.max()
-                min_size = partition_sizes.min()
-                balance_score = (self.balance_weight
-                                 * (max_size - partition_sizes)
-                                 / (epsilon + max_size - min_size))
-                scores = replication_score + balance_score
+                if use_bitmask:
+                    in_p_u = (replica_mask[u] >> partition_ids) & 1
+                    in_p_v = (replica_mask[v] >> partition_ids) & 1
+                else:
+                    in_p_u = replica_matrix[u]
+                    in_p_v = replica_matrix[v]
+                scores = replication_balance_scores(
+                    in_p_u, in_p_v, 1.0 + (1.0 - theta_u),
+                    1.0 + (1.0 - theta_v), partition_sizes,
+                    partition_sizes.max(), partition_sizes.min(),
+                    self.balance_weight, epsilon)
                 scores[partition_sizes >= capacity] = -np.inf
-                chosen = int(np.argmax(scores))
+                if np.isneginf(scores).all():
+                    # Every partition is at capacity: place the edge on the
+                    # least-loaded partition instead of letting the argmax of
+                    # an all--inf vector silently overflow partition 0.
+                    chosen = int(np.argmin(partition_sizes))
+                else:
+                    chosen = int(np.argmax(scores))
 
             assignment[edge_id] = chosen
             partition_sizes[chosen] += 1
-            if k <= 63:
+            if use_bitmask:
                 replica_mask[u] |= np.int64(1) << np.int64(chosen)
                 replica_mask[v] |= np.int64(1) << np.int64(chosen)
+            else:
+                replica_matrix[u, chosen] = True
+                replica_matrix[v, chosen] = True
 
-        return EdgePartition(graph, k, assignment, self.name)
+        return assignment
