@@ -1,23 +1,42 @@
-"""Profiling-runtime throughput: sequential vs. parallel vs. warm cache.
+"""Profiling-runtime throughput: backends, warm cache and intra-unit fan-out.
 
 Profiling is the dominant cost of the EASE training phase (Figure 5, steps
-2-3).  This benchmark measures the job-based profiling runtime on an R-MAT
-corpus in three configurations — the sequential baseline (``jobs=1``, no
-cache), a 4-worker process pool, and a warm content-addressed artifact cache
-— and reports wall-clock, speedup, partitioner invocations and cache hit
-rate.  All three configurations produce identical datasets; only the work
-placement differs.
+2-3).  This benchmark measures the task-DAG profiling runtime on an R-MAT
+corpus across executor backends — inline (sequential baseline), the process
+pool, the directory-queue worker pool, and a warm content-addressed artifact
+cache — and reports wall-clock, speedup, partitioner invocations and cache
+hit rate per backend.  All configurations produce identical datasets; only
+the work placement differs.
+
+A second experiment isolates the point of the task-DAG refactor: a corpus
+dominated by one large graph whose single work unit used to pin one worker.
+Unit-granular dispatch (the PR 1 shape, ``granularity="unit"``) is compared
+against task-granular dispatch on the same 4-worker pool; the fan-out of the
+per-workload processing tasks must win at least 2x when the host has the
+workers to run them.
+
+``--quick`` is the CI smoke mode: tiny corpus, every backend, dataset
+identity asserted record-for-record, no timing thresholds.
 """
 
+import argparse
 import os
 import shutil
+import sys
 import time
 
-import pytest
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct CLI invocation
+    pytest = None
+
+sys.path.insert(0, os.path.dirname(__file__))
 
 from _harness import CACHE_DIRECTORY, format_table, report
 from repro.generators import generate_rmat
 from repro.ease import GraphProfiler
+from repro.processing import ALL_ALGORITHM_NAMES
+from repro.runtime import ProfileExecutor, build_dataset
 
 NUM_GRAPHS = 6
 PARTITIONERS = ("2d", "dbh", "hdrf", "2ps", "ne", "hep10")
@@ -26,20 +45,29 @@ PROCESSING_K = 2
 ALGORITHMS = ("pagerank", "connected_components", "sssp")
 PARALLEL_JOBS = 4
 
+#: Intra-unit experiment: one dominant graph, one partitioner, every
+#: workload — a single work unit, serial under unit-granular dispatch.
+DOMINANT_VERTICES = 4096
+DOMINANT_EDGES = 30_000
+MIN_INTRA_UNIT_SPEEDUP = 2.0
 
-@pytest.fixture(scope="module")
-def corpus():
-    return [generate_rmat(256, 1600 + 120 * index, seed=index,
+QUICK_NUM_GRAPHS = 2
+QUICK_VERTICES = 128
+QUICK_EDGES = 700
+
+
+def _make_corpus(num_graphs, vertices, base_edges):
+    return [generate_rmat(vertices, base_edges + 120 * index, seed=index,
                           graph_type="rmat")
-            for index in range(NUM_GRAPHS)]
+            for index in range(num_graphs)]
 
 
-def _make_profiler(jobs: int, cache_dir=None) -> GraphProfiler:
+def _make_profiler(jobs: int, cache_dir=None, backend=None) -> GraphProfiler:
     return GraphProfiler(partitioner_names=PARTITIONERS,
                          partition_counts=PARTITION_COUNTS,
                          processing_partition_count=PROCESSING_K,
                          algorithms=ALGORITHMS, jobs=jobs,
-                         cache_dir=cache_dir)
+                         cache_dir=cache_dir, backend=backend)
 
 
 def _timed_profile(profiler: GraphProfiler, corpus):
@@ -49,48 +77,114 @@ def _timed_profile(profiler: GraphProfiler, corpus):
     return dataset, elapsed, profiler.last_run_stats
 
 
-def _run_experiment(corpus):
+def _assert_identical(datasets):
+    for dataset in datasets[1:]:
+        assert dataset.summary() == datasets[0].summary()
+        assert all(lhs == rhs for lhs, rhs in
+                   zip(dataset.quality, datasets[0].quality))
+        assert all(lhs == rhs for lhs, rhs in
+                   zip(dataset.partitioning_time,
+                       datasets[0].partitioning_time))
+        assert all(lhs == rhs for lhs, rhs in
+                   zip(dataset.processing, datasets[0].processing))
+
+
+# --------------------------------------------------------------------------- #
+# Experiment 1: backends and warm cache on a multi-graph corpus
+# --------------------------------------------------------------------------- #
+def run_backend_grid(corpus, jobs=PARALLEL_JOBS):
     cache_dir = os.path.join(CACHE_DIRECTORY, "profiling_throughput_cache")
     shutil.rmtree(cache_dir, ignore_errors=True)
 
-    sequential = _timed_profile(_make_profiler(jobs=1), corpus)
-    parallel = _timed_profile(
-        _make_profiler(jobs=PARALLEL_JOBS, cache_dir=cache_dir), corpus)
-    warm = _timed_profile(
-        _make_profiler(jobs=PARALLEL_JOBS, cache_dir=cache_dir), corpus)
+    results = {
+        "sequential (inline)": _timed_profile(_make_profiler(jobs=1), corpus),
+        f"process pool (jobs={jobs})": _timed_profile(
+            _make_profiler(jobs=jobs, cache_dir=cache_dir), corpus),
+        f"worker queue (jobs={jobs})": _timed_profile(
+            _make_profiler(jobs=jobs, backend="worker"), corpus),
+        f"warm cache (jobs={jobs})": _timed_profile(
+            _make_profiler(jobs=jobs, cache_dir=cache_dir), corpus),
+    }
     shutil.rmtree(cache_dir, ignore_errors=True)
-    return {"sequential (jobs=1)": sequential,
-            f"parallel (jobs={PARALLEL_JOBS})": parallel,
-            f"warm cache (jobs={PARALLEL_JOBS})": warm}
+    return results
 
 
-def test_profiling_throughput(benchmark, corpus):
-    results = benchmark.pedantic(_run_experiment, args=(corpus,),
-                                 rounds=1, iterations=1)
-    baseline_seconds = results["sequential (jobs=1)"][1]
+def report_backend_grid(results, corpus):
+    baseline_seconds = results["sequential (inline)"][1]
     rows = []
     for label, (dataset, seconds, stats) in results.items():
-        rows.append((label, seconds, baseline_seconds / seconds,
+        rows.append((label, stats.backend, seconds,
+                     baseline_seconds / seconds,
                      stats.partitions_computed,
                      stats.duplicate_partitions_avoided,
                      f"{stats.cache_hit_rate():.0%}",
                      len(dataset.quality) + len(dataset.partitioning_time)
                      + len(dataset.processing)))
     report("profiling_throughput", format_table(
-        ("configuration", "wall clock (s)", "speedup", "partitions computed",
-         "duplicates avoided", "cache hit rate", "records"), rows,
-        title=f"Profiling throughput: {NUM_GRAPHS} R-MAT graphs x "
+        ("configuration", "backend", "wall clock (s)", "speedup",
+         "partitions computed", "duplicates avoided", "cache hit rate",
+         "records"), rows,
+        title=f"Profiling throughput: {len(corpus)} R-MAT graphs x "
               f"{len(PARTITIONERS)} partitioners x k={PARTITION_COUNTS}, "
               f"{len(ALGORITHMS)} workloads at k={PROCESSING_K}"))
 
-    datasets = [entry[0] for entry in results.values()]
-    for dataset in datasets[1:]:
-        assert dataset.summary() == datasets[0].summary()
-        assert all(lhs == rhs for lhs, rhs in
-                   zip(dataset.quality, datasets[0].quality))
 
-    _, _, sequential_stats = results["sequential (jobs=1)"]
-    _, warm_seconds, warm_stats = results[f"warm cache (jobs={PARALLEL_JOBS})"]
+# --------------------------------------------------------------------------- #
+# Experiment 2: intra-unit fan-out on a single dominant graph
+# --------------------------------------------------------------------------- #
+def run_intra_unit(vertices=DOMINANT_VERTICES, edges=DOMINANT_EDGES,
+                   jobs=PARALLEL_JOBS):
+    """One dominant graph, one partitioner, every workload: a single unit.
+
+    Under unit granularity the whole unit runs on one worker — the PR 1
+    executor's dispatch shape; task granularity fans the per-workload
+    processing tasks out across the pool.
+    """
+    dominant = generate_rmat(vertices, edges, seed=7, graph_type="rmat")
+    profiler = GraphProfiler(partitioner_names=("hdrf",),
+                             partition_counts=(),
+                             processing_partition_count=4,
+                             algorithms=ALL_ALGORITHM_NAMES)
+    plan = profiler.build_plan([], [dominant])
+    outcomes = {}
+    for granularity in ("unit", "task"):
+        executor = ProfileExecutor(jobs=jobs, granularity=granularity)
+        start = time.perf_counter()
+        results, stats = executor.run(plan)
+        elapsed = time.perf_counter() - start
+        outcomes[granularity] = (build_dataset(plan, results), elapsed,
+                                 stats)
+    return dominant, outcomes
+
+
+def report_intra_unit(dominant, outcomes, jobs=PARALLEL_JOBS):
+    unit_seconds = outcomes["unit"][1]
+    rows = [(f"granularity={granularity} (jobs={jobs})", seconds,
+             unit_seconds / seconds, stats.executed_tasks)
+            for granularity, (_, seconds, stats) in outcomes.items()]
+    report("profiling_intra_unit", format_table(
+        ("configuration", "wall clock (s)", "speedup vs unit-granular",
+         "tasks executed"), rows,
+        title=f"Intra-unit fan-out: one dominant R-MAT graph "
+              f"|V|={dominant.num_vertices} |E|={dominant.num_edges}, "
+              f"hdrf at k=4, {len(ALL_ALGORITHM_NAMES)} workloads "
+              f"(a single work unit)"))
+    return unit_seconds / outcomes["task"][1]
+
+
+# --------------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------------- #
+def run_full():
+    corpus = _make_corpus(NUM_GRAPHS, 256, 1600)
+    results = run_backend_grid(corpus)
+    report_backend_grid(results, corpus)
+    _assert_identical([entry[0] for entry in results.values()])
+
+    sequential_stats = results["sequential (inline)"][2]
+    baseline_seconds = results["sequential (inline)"][1]
+    _, warm_seconds, warm_stats = results[
+        f"warm cache (jobs={PARALLEL_JOBS})"]
     # Content-addressing removes the double partitioning at the processing k.
     assert sequential_stats.duplicate_partitions_avoided == (
         NUM_GRAPHS * len(PARTITIONERS))
@@ -98,8 +192,62 @@ def test_profiling_throughput(benchmark, corpus):
     assert warm_stats.partitions_computed == 0
     assert warm_stats.cache_hit_rate() == 1.0
     assert baseline_seconds / warm_seconds >= 2.0
-    # Pool scaling is hardware-dependent; only assert it when the host
-    # actually has the workers to run on.
+
+    dominant, outcomes = run_intra_unit()
+    _assert_identical([entry[0] for entry in outcomes.values()])
+    intra_unit_speedup = report_intra_unit(dominant, outcomes)
+
+    # Scaling is hardware-dependent; only assert it when the host actually
+    # has the workers to run on.
     if (os.cpu_count() or 1) >= PARALLEL_JOBS:
-        _, parallel_seconds, _ = results[f"parallel (jobs={PARALLEL_JOBS})"]
+        _, parallel_seconds, _ = results[
+            f"process pool (jobs={PARALLEL_JOBS})"]
         assert baseline_seconds / parallel_seconds >= 1.5
+        assert intra_unit_speedup >= MIN_INTRA_UNIT_SPEEDUP, (
+            f"intra-unit task fan-out {intra_unit_speedup:.2f}x below "
+            f"{MIN_INTRA_UNIT_SPEEDUP}x")
+    return results
+
+
+def run_quick():
+    """CI smoke: every backend and both granularities merge identically."""
+    corpus = _make_corpus(QUICK_NUM_GRAPHS, QUICK_VERTICES, QUICK_EDGES)
+    quick_partitioners = ("2d", "hdrf")
+    datasets = []
+    for backend, jobs in (("inline", 1), ("process", 2), ("worker", 2)):
+        profiler = GraphProfiler(partitioner_names=quick_partitioners,
+                                 partition_counts=PARTITION_COUNTS,
+                                 processing_partition_count=PROCESSING_K,
+                                 algorithms=("pagerank",), jobs=jobs,
+                                 backend=backend)
+        datasets.append(profiler.profile(corpus, corpus))
+        assert profiler.last_run_stats.backend == backend
+    _assert_identical(datasets)
+
+    dominant, outcomes = run_intra_unit(vertices=256, edges=1500, jobs=2)
+    _assert_identical([entry[0] for entry in outcomes.values()])
+    print("quick smoke passed: inline, process and worker backends (and "
+          "both granularities) produced identical datasets")
+
+
+if pytest is not None:
+    @pytest.mark.benchmark(group="profiling_throughput")
+    def test_profiling_throughput(benchmark):
+        benchmark.pedantic(run_full, rounds=1, iterations=1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: tiny corpus, backend identity "
+                             "assertions only (no timing thresholds)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        run_quick()
+    else:
+        run_full()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

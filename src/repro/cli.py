@@ -16,11 +16,22 @@ Four subcommands mirror the phases of the paper's pipeline (Figure 5):
     Load a trained system and select a partitioner for a graph (edge-list or
     ``.npz``) and workload.
 
+Two support the profiling runtime:
+
+``worker``
+    Serve a shared profiling queue directory: claim spooled tasks, execute
+    them, ack results (the remote half of ``profile --backend worker``).
+``cache gc``
+    Shrink a content-addressed artifact cache to a size bound (LRU order)
+    and report the reclaimed bytes.
+
 Example session::
 
     python -m repro.cli generate --output graphs/ --max-graphs 40
     python -m repro.cli profile --graphs graphs/ --output profile.pkl \
-        --jobs 4 --cache-dir profile-cache/
+        --jobs 4 --cache-dir profile-cache/ --backend process
+    python -m repro.cli cache gc --cache-dir profile-cache/ \
+        --max-bytes 500000000
     python -m repro.cli train --profile profile.pkl --output ease.pkl
     python -m repro.cli select --model ease.pkl --graph my_graph.txt \
         --algorithm pagerank --partitions 8 --goal end_to_end
@@ -86,10 +97,14 @@ def _command_profile(args: argparse.Namespace) -> int:
         partitioner_names=args.partitioners,
         partition_counts=tuple(args.partition_counts),
         processing_partition_count=args.processing_partitions,
+        partitioning_time_mode=args.time_mode,
+        time_repeats=args.time_repeats,
         algorithms=args.algorithms,
         seed=args.seed,
         jobs=args.jobs,
-        cache_dir=args.cache_dir)
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        queue_dir=args.queue_dir)
     checkpoint_path = args.output + ".checkpoint"
     if not args.resume and os.path.exists(checkpoint_path):
         os.remove(checkpoint_path)
@@ -100,10 +115,39 @@ def _command_profile(args: argparse.Namespace) -> int:
         os.remove(checkpoint_path)
     stats = profiler.last_run_stats
     print(f"profiled {len(graphs)} graphs -> {dataset.summary()}")
-    print(f"jobs={args.jobs}  partitions computed={stats.partitions_computed}"
+    print(f"jobs={args.jobs}  backend={stats.backend}"
+          f"  partitions computed={stats.partitions_computed}"
           f"  cache hit rate={stats.cache_hit_rate():.0%}"
           f"  resumed units={stats.checkpoint_units}")
+    print(f"tasks: {stats.executed_tasks} executed, "
+          f"{stats.cache_hit_tasks} from cache, "
+          f"{stats.checkpoint_tasks} from checkpoint "
+          f"of {stats.total_tasks} total")
     print(f"dataset written to {args.output}")
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from .runtime import run_worker
+
+    processed = run_worker(args.queue_dir,
+                           poll_interval=args.poll_interval,
+                           max_tasks=args.max_tasks,
+                           stop_when_idle=args.drain)
+    print(f"worker exiting after {processed} tasks")
+    return 0
+
+
+def _command_cache_gc(args: argparse.Namespace) -> int:
+    from .runtime import ArtifactStore
+
+    if not os.path.isdir(args.cache_dir):
+        raise SystemExit(f"cache directory {args.cache_dir!r} does not exist")
+    report = ArtifactStore(args.cache_dir).gc(max_bytes=args.max_bytes)
+    print(f"reclaimed {report['reclaimed_bytes']} bytes "
+          f"({report['removed_files']} artifacts); "
+          f"{report['remaining_bytes']} bytes in "
+          f"{report['remaining_files']} artifacts remain")
     return 0
 
 
@@ -180,15 +224,60 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--processing-partitions", type=int, default=4)
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--jobs", type=int, default=1,
-                         help="worker processes for the profiling grid "
+                         help="parallelism of the profiling grid "
                               "(results are identical to --jobs 1)")
+    profile.add_argument("--backend", default="auto",
+                         choices=["auto", "inline", "process", "worker"],
+                         help="executor backend of the task-DAG scheduler; "
+                              "auto = inline for --jobs 1, process pool "
+                              "otherwise")
+    profile.add_argument("--queue-dir", default=None,
+                         help="shared queue directory of the worker backend "
+                              "(default: run-scoped temporary directory); "
+                              "external 'repro worker' processes may serve "
+                              "it too")
     profile.add_argument("--cache-dir", default=None,
                          help="content-addressed artifact cache reused "
                               "across profiling runs")
+    profile.add_argument("--time-mode", default="model",
+                         choices=["model", "wall_clock"],
+                         help="partitioning run-time labels: deterministic "
+                              "cost model or wall-clock measurement")
+    profile.add_argument("--time-repeats", type=int, default=1,
+                         help="wall-clock timing measurements per "
+                              "combination (mean/std recorded; ignored in "
+                              "model mode)")
     profile.add_argument("--resume", action="store_true",
                          help="resume from the checkpoint left by an "
                               "interrupted run of the same command")
     profile.set_defaults(handler=_command_profile)
+
+    worker = subparsers.add_parser(
+        "worker", help="serve a shared profiling queue directory")
+    worker.add_argument("--queue-dir", required=True,
+                        help="queue directory of a profile --backend worker "
+                             "run (may be on a shared filesystem)")
+    worker.add_argument("--poll-interval", type=float, default=0.05,
+                        help="seconds between queue polls when idle")
+    worker.add_argument("--max-tasks", type=int, default=None,
+                        help="exit after this many tasks (default: serve "
+                             "until the queue's stop sentinel appears)")
+    worker.add_argument("--drain", action="store_true",
+                        help="exit as soon as the queue is empty instead of "
+                             "waiting for the stop sentinel")
+    worker.set_defaults(handler=_command_worker)
+
+    cache = subparsers.add_parser(
+        "cache", help="artifact-cache lifecycle commands")
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_gc = cache_commands.add_parser(
+        "gc", help="shrink an artifact cache to a size bound (LRU order)")
+    cache_gc.add_argument("--cache-dir", required=True,
+                          help="artifact cache directory to collect")
+    cache_gc.add_argument("--max-bytes", type=int, required=True,
+                          help="target size in bytes (0 clears the cache "
+                               "entirely)")
+    cache_gc.set_defaults(handler=_command_cache_gc)
 
     train = subparsers.add_parser("train", help="train EASE from a profile")
     train.add_argument("--profile", required=True,

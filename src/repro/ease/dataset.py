@@ -31,7 +31,12 @@ class QualityRecord:
 
 @dataclass
 class PartitioningTimeRecord:
-    """One (graph, partitioner, k) observation of partitioning run-time."""
+    """One (graph, partitioner, k) observation of partitioning run-time.
+
+    ``seconds`` is the mean over ``repeats`` measurements and
+    ``seconds_std`` their standard deviation; deterministic model-mode
+    labels always report one exact sample (``repeats=1``, zero deviation).
+    """
 
     graph_name: str
     graph_type: str
@@ -39,6 +44,8 @@ class PartitioningTimeRecord:
     partitioner: str
     num_partitions: int
     seconds: float
+    seconds_std: float = 0.0
+    repeats: int = 1
 
 
 @dataclass

@@ -9,9 +9,10 @@ data of the three predictors.
 
 Since the job-runtime refactor, :class:`GraphProfiler` is a thin orchestrator
 over :mod:`repro.runtime`: it enumerates the profiling grid as typed jobs
-(:mod:`repro.runtime.jobs`), executes the deduplicated work units — inline or
-on a process pool — against a content-addressed artifact store
-(:mod:`repro.runtime.artifacts`, :mod:`repro.runtime.executor`), and merges
+(:mod:`repro.runtime.jobs`), decomposes each work unit into fine-grained
+tasks scheduled over a pluggable executor backend — inline, process pool, or
+a shared-directory worker queue — against a content-addressed artifact store
+(:mod:`repro.runtime.scheduler`, :mod:`repro.runtime.backends`), and merges
 the payloads into a dataset whose records match a sequential run exactly.
 See ``docs/ARCHITECTURE.md`` for the full design.
 """
@@ -64,11 +65,27 @@ class GraphProfiler:
     seed:
         Seed forwarded to partitioners and algorithms.
     jobs:
-        Worker processes used to execute independent profiling jobs;
-        ``1`` (default) runs inline.  Results are identical either way.
+        Degree of parallelism of the profiling grid: pool size of the
+        ``process`` backend or locally spawned workers of the ``worker``
+        backend; ``1`` (default) runs inline.  Results are identical
+        either way.
     cache_dir:
         Optional directory of the content-addressed artifact cache; reused
         across runs, so re-profiling an already-profiled grid is nearly free.
+    backend:
+        Executor backend of the task-DAG scheduler: ``"auto"``/``None``
+        (inline for ``jobs == 1``, process pool otherwise), ``"inline"``,
+        ``"process"``, ``"worker"`` (shared-directory queue; see
+        ``queue_dir``), or an
+        :class:`~repro.runtime.backends.ExecutorBackend` instance.
+    queue_dir:
+        Queue directory of the ``worker`` backend; ``None`` uses a
+        run-scoped temporary directory.  Point it at a shared filesystem to
+        let external ``repro worker`` processes participate.
+    time_repeats:
+        Wall-clock partitioning-time measurements per combination (mean and
+        standard deviation land on the dataset record); ignored by the
+        deterministic ``model`` mode.
     """
 
     def __init__(self,
@@ -81,12 +98,17 @@ class GraphProfiler:
                  exact_triangles: bool = False,
                  seed: int = 0,
                  jobs: int = 1,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 backend=None,
+                 queue_dir: Optional[str] = None,
+                 time_repeats: int = 1) -> None:
         if partitioning_time_mode not in ("model", "wall_clock"):
             raise ValueError("partitioning_time_mode must be 'model' or "
                              "'wall_clock'")
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if time_repeats < 1:
+            raise ValueError("time_repeats must be >= 1")
         self.partitioner_names = list(partitioner_names)
         self.partition_counts = list(partition_counts)
         self.processing_partition_count = processing_partition_count
@@ -97,6 +119,9 @@ class GraphProfiler:
         self.seed = seed
         self.jobs = jobs
         self.cache_dir = cache_dir
+        self.backend = backend
+        self.queue_dir = queue_dir
+        self.time_repeats = time_repeats
         self._cost_model = PartitioningCostModel()
         #: Accounting of the most recent profiling run (job counts, cache
         #: hit rate, partitions computed); ``None`` before the first run.
@@ -137,12 +162,16 @@ class GraphProfiler:
              progress: Optional[callable] = None,
              jobs: Optional[int] = None,
              cache_dir: Optional[str] = None,
-             checkpoint_path: Optional[str] = None) -> ProfileDataset:
+             checkpoint_path: Optional[str] = None,
+             backend=None) -> ProfileDataset:
         plan = self.build_plan(quality_graphs, processing_graphs)
         executor = ProfileExecutor(
             jobs=self.jobs if jobs is None else jobs,
             cache_dir=self.cache_dir if cache_dir is None else cache_dir,
-            checkpoint_path=checkpoint_path)
+            checkpoint_path=checkpoint_path,
+            backend=self.backend if backend is None else backend,
+            queue_dir=self.queue_dir,
+            time_repeats=self.time_repeats)
         results, stats = executor.run(plan)
         self.last_run_stats = stats
         return build_dataset(plan, results, progress=progress)
@@ -165,7 +194,8 @@ class GraphProfiler:
                 processing_graphs: Iterable[Graph],
                 jobs: Optional[int] = None,
                 cache_dir: Optional[str] = None,
-                checkpoint_path: Optional[str] = None) -> ProfileDataset:
+                checkpoint_path: Optional[str] = None,
+                backend=None) -> ProfileDataset:
         """Full profiling: quality grid on one corpus, processing on another.
 
         Mirrors the paper's setup where the (smaller) R-MAT-SMALL corpus feeds
@@ -174,10 +204,11 @@ class GraphProfiler:
         phases — the processing ``k`` appearing in ``partition_counts`` on a
         shared corpus — are partitioned only once.
 
-        ``jobs`` / ``cache_dir`` override the profiler-level settings for
-        this run; ``checkpoint_path`` enables incremental checkpointing, and
-        re-running with the same path resumes a partially completed run.
+        ``jobs`` / ``cache_dir`` / ``backend`` override the profiler-level
+        settings for this run; ``checkpoint_path`` enables incremental
+        task-level checkpointing, and re-running with the same path resumes
+        a partially completed run mid-unit.
         """
         return self._run(list(quality_graphs), list(processing_graphs),
                          jobs=jobs, cache_dir=cache_dir,
-                         checkpoint_path=checkpoint_path)
+                         checkpoint_path=checkpoint_path, backend=backend)

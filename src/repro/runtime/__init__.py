@@ -1,12 +1,14 @@
-"""Job-based profiling runtime (jobs, artifact store, parallel executor).
+"""Task-DAG profiling runtime (jobs, tasks, scheduler, backends, artifacts).
 
 The runtime turns the EASE profiling grid — every training graph partitioned
 by every candidate partitioner at every ``k`` and processed under every
-workload — into explicit, typed jobs with content-addressed keys.  Independent
-jobs run on a process pool, shared artifacts (partition assignments, graph
-properties, quality metrics) are computed once and reused between the quality
-and processing phases, and results merge deterministically so a parallel run
-is indistinguishable from a sequential one.
+workload — into typed jobs with content-addressed keys, decomposes each
+``(graph, partitioner, k)`` work unit into fine-grained tasks
+(partition → quality / timing / per-workload processing), and schedules the
+resulting DAG over a pluggable executor backend: inline, process pool, or a
+shared-directory worker queue served by external ``repro worker`` processes.
+Shared artifacts are computed once, results merge deterministically, and a
+parallel run on any backend is indistinguishable from a sequential one.
 """
 
 from .artifacts import ArtifactStore
@@ -21,7 +23,29 @@ from .jobs import (
     build_plan,
     graph_fingerprint,
 )
-from .executor import ProfileExecutor, ProfileRunStats, build_dataset
+from .tasks import (
+    FusedTask,
+    PartitionTask,
+    PartitionTimeTask,
+    ProcessingTask,
+    PropertiesTask,
+    QualityTask,
+)
+from .scheduler import Scheduler, TaskGraph, build_task_graph
+from .backends import (
+    ExecutorBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    TaskEnvelope,
+    WorkerPoolBackend,
+    run_worker,
+)
+from .executor import (
+    BACKEND_NAMES,
+    ProfileExecutor,
+    ProfileRunStats,
+    build_dataset,
+)
 
 __all__ = [
     "ArtifactStore",
@@ -34,6 +58,22 @@ __all__ = [
     "WorkUnit",
     "build_plan",
     "graph_fingerprint",
+    "FusedTask",
+    "PartitionTask",
+    "PartitionTimeTask",
+    "ProcessingTask",
+    "PropertiesTask",
+    "QualityTask",
+    "Scheduler",
+    "TaskGraph",
+    "build_task_graph",
+    "ExecutorBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "TaskEnvelope",
+    "WorkerPoolBackend",
+    "run_worker",
+    "BACKEND_NAMES",
     "ProfileExecutor",
     "ProfileRunStats",
     "build_dataset",

@@ -32,6 +32,11 @@ ArtifactKey = Tuple[Any, ...]
 #: still go to disk for cross-run reuse when a cache_dir is configured.
 TRANSIENT_KINDS = frozenset({"partition"})
 
+#: A ``.tmp`` file older than this is a leftover of a crashed writer and is
+#: reclaimed by eviction/gc; younger ones may belong to a live concurrent
+#: writer (an atomic write holds its temp file for milliseconds).
+TMP_RECLAIM_AGE_SECONDS = 60.0
+
 
 def _key_digest(key: ArtifactKey) -> str:
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
@@ -45,13 +50,25 @@ class ArtifactStore:
     cache_dir:
         Directory of the on-disk mirror; ``None`` keeps the store purely
         in-memory (artifacts then only live for the duration of one run).
+    max_bytes:
+        Optional size bound of the on-disk mirror.  After every write the
+        least-recently-used artifact files are evicted until the mirror
+        fits (reads refresh recency via the file mtime).  ``None`` keeps
+        the historical unbounded behaviour; use :meth:`gc` for one-shot
+        reclamation of an existing cache directory.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(self, cache_dir: Optional[str] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
         self.cache_dir = cache_dir
+        self.max_bytes = max_bytes
         self._memory: Dict[ArtifactKey, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.evicted_files = 0
+        self.evicted_bytes = 0
 
     # ------------------------------------------------------------------ #
     def path_for(self, key: ArtifactKey) -> Optional[str]:
@@ -82,6 +99,10 @@ class ArtifactStore:
                 # filesystem without atomic rename) is treated as absent.
                 self.misses += 1
                 return None
+            try:
+                os.utime(path)  # refresh LRU recency for eviction
+            except OSError:
+                pass
             if not self._is_transient(key):
                 self._memory[key] = value
             self.hits += 1
@@ -106,6 +127,8 @@ class ArtifactStore:
                 if os.path.exists(temp_path):
                     os.remove(temp_path)
                 raise
+            if self.max_bytes is not None:
+                self._enforce_limit(self.max_bytes, keep=path)
         return value
 
     @staticmethod
@@ -113,7 +136,93 @@ class ArtifactStore:
         return bool(key) and key[0] in TRANSIENT_KINDS
 
     # ------------------------------------------------------------------ #
+    # Lifecycle: size-bounded eviction and garbage collection
+    # ------------------------------------------------------------------ #
+    def _disk_entries(self):
+        """(mtime, size, path) of every artifact file under ``cache_dir``."""
+        entries = []
+        if self.cache_dir is None or not os.path.isdir(self.cache_dir):
+            return entries
+        for root, _, names in os.walk(self.cache_dir):
+            for name in names:
+                path = os.path.join(root, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((info.st_mtime, info.st_size, path))
+        return entries
+
+    def _enforce_limit(self, max_bytes: int,
+                       keep: Optional[str] = None) -> Dict[str, int]:
+        """Evict least-recently-used files until the mirror fits.
+
+        ``keep`` protects the just-written file so a single artifact larger
+        than the bound does not evict itself.  ``.tmp`` files from crashed
+        writers are reclaimed first, but only once they are old enough to
+        rule out a live concurrent writer between ``mkstemp`` and its
+        atomic rename (workers legitimately share the cache directory).
+        """
+        import time
+
+        reclaimed = {"removed_files": 0, "reclaimed_bytes": 0}
+        entries = self._disk_entries()
+        stale_cutoff = time.time() - TMP_RECLAIM_AGE_SECONDS
+        stale = [entry for entry in entries
+                 if entry[2].endswith(".tmp") and entry[0] < stale_cutoff]
+        entries = [entry for entry in entries if not entry[2].endswith(".tmp")]
+        for _, size, path in stale:
+            if self._remove(path):
+                reclaimed["removed_files"] += 1
+                reclaimed["reclaimed_bytes"] += size
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in sorted(entries):  # oldest mtime first
+            if total <= max_bytes:
+                break
+            if path == keep:
+                continue
+            if self._remove(path):
+                total -= size
+                reclaimed["removed_files"] += 1
+                reclaimed["reclaimed_bytes"] += size
+        self.evicted_files += reclaimed["removed_files"]
+        self.evicted_bytes += reclaimed["reclaimed_bytes"]
+        return reclaimed
+
+    @staticmethod
+    def _remove(path: str) -> bool:
+        try:
+            os.remove(path)
+            return True
+        except OSError:
+            return False
+
+    def disk_usage(self) -> Dict[str, int]:
+        """Total size and file count of the on-disk mirror."""
+        entries = self._disk_entries()
+        return {"files": len(entries),
+                "bytes": sum(size for _, size, _ in entries)}
+
+    def gc(self, max_bytes: int = 0) -> Dict[str, int]:
+        """Shrink the on-disk mirror to ``max_bytes`` (LRU order).
+
+        ``0`` clears the cache entirely.  Returns the reclaimed bytes/files
+        plus the remaining usage — the numbers the ``repro cache gc``
+        subcommand reports.  The in-memory working set is untouched.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        reclaimed = self._enforce_limit(max_bytes)
+        usage = self.disk_usage()
+        return {"reclaimed_bytes": reclaimed["reclaimed_bytes"],
+                "removed_files": reclaimed["removed_files"],
+                "remaining_bytes": usage["bytes"],
+                "remaining_files": usage["files"]}
+
+    # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters and the number of artifacts held in memory."""
+        """Hit/miss/eviction counters and artifacts held in memory."""
         return {"hits": self.hits, "misses": self.misses,
-                "in_memory": len(self._memory)}
+                "in_memory": len(self._memory),
+                "evicted_files": self.evicted_files,
+                "evicted_bytes": self.evicted_bytes}

@@ -1,0 +1,516 @@
+"""Pluggable executor backends of the task-DAG scheduler.
+
+A backend owns *where* ready tasks run; the scheduler owns *when*.  The
+contract is deliberately small:
+
+``start(graphs, cache_dir, store=None)``
+    Prepare workers.  ``graphs`` maps fingerprints to the representative
+    :class:`Graph` objects of the tasks that will be submitted.
+``submit(envelope)``
+    Accept one :class:`TaskEnvelope` (task + shipped input payloads).
+``next_completed()``
+    Block until any submitted envelope finishes; return
+    ``(task_id, payload)``.  Completion order is unconstrained — the
+    deterministic merge happens downstream.
+``close()``
+    Release workers.
+
+Three implementations:
+
+* :class:`InlineBackend` — executes on ``submit`` in the calling process,
+  sharing the parent's graphs and artifact store (no pickling).
+* :class:`ProcessPoolBackend` — a ``ProcessPoolExecutor`` whose workers
+  receive the graph arrays once via initializer (IPC proportional to the
+  corpus, not the grid).
+* :class:`WorkerPoolBackend` — a shared-directory task queue: envelopes are
+  spooled as pickles, external ``repro worker`` processes claim them by
+  atomic rename, execute, and ack results back into the directory.  This is
+  the distributed stepping stone: the queue directory can live on a network
+  filesystem and workers on other machines, and the backend can also spawn
+  local worker subprocesses for single-machine use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..graph import Graph
+from .artifacts import ArtifactStore
+from .tasks import TaskId, execute_task
+
+__all__ = [
+    "TaskEnvelope",
+    "ExecutorBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "WorkerPoolBackend",
+    "run_worker",
+]
+
+
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """One dispatchable task plus the dependency payloads it consumes."""
+
+    task_id: TaskId
+    task: Any
+    graph_fingerprint: str
+    inputs: Dict[TaskId, Any] = field(default_factory=dict)
+
+
+class ExecutorBackend:
+    """Interface of an execution backend (see module docstring)."""
+
+    name = "abstract"
+
+    def start(self, graphs: Dict[str, Graph], cache_dir: Optional[str],
+              store: Optional[ArtifactStore] = None) -> None:
+        raise NotImplementedError
+
+    def submit(self, envelope: TaskEnvelope) -> None:
+        raise NotImplementedError
+
+    def next_completed(self) -> Tuple[TaskId, Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# Inline
+# --------------------------------------------------------------------------- #
+class InlineBackend(ExecutorBackend):
+    """Execute tasks immediately in the calling process.
+
+    Operates on the original graph objects (their cached adjacency views
+    persist across tasks) and the parent's artifact store, so nothing is
+    pickled.  The right choice for small grids and the reference every other
+    backend is tested against.
+    """
+
+    name = "inline"
+
+    def __init__(self) -> None:
+        self._graphs: Dict[str, Graph] = {}
+        self._store: Optional[ArtifactStore] = None
+        self._completed: List[Tuple[TaskId, Any]] = []
+
+    def start(self, graphs, cache_dir, store=None):
+        self._graphs = dict(graphs)
+        self._store = store if store is not None else ArtifactStore(cache_dir)
+
+    def submit(self, envelope):
+        graph = self._graphs[envelope.graph_fingerprint]
+        payload = execute_task(envelope.task, graph, self._store,
+                               envelope.inputs)
+        self._completed.append((envelope.task_id, payload))
+
+    def next_completed(self):
+        if not self._completed:
+            raise RuntimeError("no submitted task is pending")
+        return self._completed.pop(0)
+
+    def close(self):
+        self._graphs = {}
+        self._completed = []
+
+
+# --------------------------------------------------------------------------- #
+# Process pool
+# --------------------------------------------------------------------------- #
+#: Per-worker state installed by :func:`_init_pool_worker`: the graphs of the
+#: current run (keyed by fingerprint) and the cache directory.  Shipping the
+#: edge arrays once per worker instead of once per task keeps the IPC volume
+#: proportional to the corpus, and lets a worker reuse a graph's cached
+#: adjacency views across tasks.
+_WORKER_GRAPHS: Dict[str, Graph] = {}
+_WORKER_STORE: Optional[ArtifactStore] = None
+
+
+def _graph_to_arrays(graph: Graph) -> Tuple:
+    return (graph.src, graph.dst, graph.num_vertices, graph.name,
+            graph.graph_type)
+
+
+def _graph_from_arrays(arrays: Tuple) -> Graph:
+    src, dst, num_vertices, name, graph_type = arrays
+    return Graph(src, dst, num_vertices=num_vertices, name=name,
+                 graph_type=graph_type)
+
+
+def _init_pool_worker(graph_arrays: Dict[str, Tuple],
+                      cache_dir: Optional[str]) -> None:
+    global _WORKER_GRAPHS, _WORKER_STORE
+    _WORKER_GRAPHS = {fingerprint: _graph_from_arrays(arrays)
+                      for fingerprint, arrays in graph_arrays.items()}
+    _WORKER_STORE = ArtifactStore(cache_dir)
+
+
+def _pool_run_envelope(envelope: TaskEnvelope) -> Tuple[TaskId, Any]:
+    graph = _WORKER_GRAPHS[envelope.graph_fingerprint]
+    payload = execute_task(envelope.task, graph, _WORKER_STORE,
+                           envelope.inputs)
+    return envelope.task_id, payload
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Dispatch tasks to a :class:`ProcessPoolExecutor`."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int = 2) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pending = set()
+        self._done_buffer: List[Tuple[TaskId, Any]] = []
+
+    def start(self, graphs, cache_dir, store=None):
+        graph_arrays = {fingerprint: _graph_to_arrays(graph)
+                        for fingerprint, graph in graphs.items()}
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers, initializer=_init_pool_worker,
+            initargs=(graph_arrays, cache_dir))
+
+    def submit(self, envelope):
+        self._pending.add(self._pool.submit(_pool_run_envelope, envelope))
+
+    def next_completed(self):
+        if self._done_buffer:
+            return self._done_buffer.pop(0)
+        if not self._pending:
+            raise RuntimeError("no submitted task is pending")
+        done, self._pending = wait(self._pending,
+                                   return_when=FIRST_COMPLETED)
+        for future in done:
+            self._done_buffer.append(future.result())
+        return self._done_buffer.pop(0)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._pending = set()
+        self._done_buffer = []
+
+
+# --------------------------------------------------------------------------- #
+# Directory-queue worker pool
+# --------------------------------------------------------------------------- #
+_QUEUE_SUBDIRS = ("tasks", "claimed", "results", "graphs")
+_STOP_SENTINEL = "stop"
+_CONFIG_FILE = "config.pkl"
+
+
+def _task_filename(task_id: TaskId) -> str:
+    return hashlib.sha256(repr(task_id).encode("utf-8")).hexdigest() + ".task"
+
+
+def _remove_quietly(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+def _atomic_write(path: str, payload: Any) -> None:
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.remove(temp_path)
+        raise
+
+
+class WorkerPoolBackend(ExecutorBackend):
+    """Shared-directory task queue claimed by external worker processes.
+
+    Queue layout under ``queue_dir``::
+
+        config.pkl        run configuration (cache_dir)
+        graphs/<fp>.pkl   graph arrays, written once per content fingerprint
+        tasks/<id>.task   spooled envelopes awaiting a worker
+        claimed/<id>.task envelopes currently owned by a worker
+        results/<id>.result   acked payloads awaiting collection
+        stop              sentinel telling idle workers to exit
+
+    Workers claim a task by atomically renaming it from ``tasks/`` into
+    ``claimed/`` (rename fails if another worker won the race), execute it,
+    ack the result into ``results/`` and delete the claim.  Acks may arrive
+    in any order, and duplicate or foreign acks (a task requeued after a
+    worker crash and finished twice, or leftovers of an earlier interrupted
+    run) are discarded: only results of currently outstanding task ids are
+    returned.  A worker crash leaves the claim file behind; claims older
+    than ``stale_claim_timeout`` are automatically returned to the queue
+    while the driver waits (tasks are pure, so re-execution is safe), and
+    :meth:`requeue_stale` does the same on demand.
+
+    ``spawn_workers > 0`` launches that many local ``repro worker``
+    subprocesses for the lifetime of the backend — the single-machine
+    convenience path; distributed use starts workers externally against a
+    shared directory.  Spawned-worker stderr goes to
+    ``queue_dir/worker-<n>.stderr.log`` (an unread pipe would block a
+    chatty worker once the OS buffer fills).
+    """
+
+    name = "worker"
+
+    def __init__(self, queue_dir: str, spawn_workers: int = 0,
+                 poll_interval: float = 0.02,
+                 stale_claim_timeout: float = 120.0) -> None:
+        if spawn_workers < 0:
+            raise ValueError("spawn_workers must be >= 0")
+        if stale_claim_timeout <= 0:
+            raise ValueError("stale_claim_timeout must be > 0")
+        self.queue_dir = queue_dir
+        self.spawn_workers = spawn_workers
+        self.poll_interval = poll_interval
+        self.stale_claim_timeout = stale_claim_timeout
+        self._processes: List[subprocess.Popen] = []
+        self._stderr_logs: List[str] = []
+        self._outstanding: set = set()
+        self._last_stale_sweep = 0.0
+
+    # ------------------------------------------------------------------ #
+    def _path(self, *parts: str) -> str:
+        return os.path.join(self.queue_dir, *parts)
+
+    def start(self, graphs, cache_dir, store=None):
+        for subdir in _QUEUE_SUBDIRS:
+            os.makedirs(self._path(subdir), exist_ok=True)
+        stop_path = self._path(_STOP_SENTINEL)
+        if os.path.exists(stop_path):
+            os.remove(stop_path)
+        # A reused queue directory may hold leftovers of an interrupted
+        # earlier run; drop them so they are neither executed nor collected
+        # as results of this run (foreign acks racing in later are filtered
+        # by the outstanding-id check in next_completed).
+        for subdir, suffix in (("tasks", ".task"), ("claimed", ".task"),
+                               ("results", ".result")):
+            directory = self._path(subdir)
+            for name in os.listdir(directory):
+                if name.endswith(suffix) or name.endswith(".tmp"):
+                    _remove_quietly(os.path.join(directory, name))
+        _atomic_write(self._path(_CONFIG_FILE), {"cache_dir": cache_dir})
+        for fingerprint, graph in graphs.items():
+            path = self._path("graphs", f"{fingerprint}.pkl")
+            if not os.path.exists(path):
+                _atomic_write(path, _graph_to_arrays(graph))
+        self._last_stale_sweep = time.time()
+        for index in range(self.spawn_workers):
+            self._processes.append(self._spawn_worker(index))
+
+    def _spawn_worker(self, index: int) -> subprocess.Popen:
+        import repro
+
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (package_root if not existing
+                             else package_root + os.pathsep + existing)
+        log_path = self._path(f"worker-{index}.stderr.log")
+        self._stderr_logs.append(log_path)
+        with open(log_path, "wb") as log_handle:
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "worker",
+                 "--queue-dir", self.queue_dir,
+                 "--poll-interval", str(self.poll_interval)],
+                env=env, stdout=subprocess.DEVNULL, stderr=log_handle)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, envelope):
+        _atomic_write(self._path("tasks", _task_filename(envelope.task_id)),
+                      envelope)
+        self._outstanding.add(envelope.task_id)
+
+    def next_completed(self):
+        if not self._outstanding:
+            raise RuntimeError("no submitted task is pending")
+        results_dir = self._path("results")
+        while True:
+            for name in sorted(os.listdir(results_dir)):
+                if not name.endswith(".result"):
+                    continue
+                path = os.path.join(results_dir, name)
+                try:
+                    with open(path, "rb") as handle:
+                        result = pickle.load(handle)
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    continue  # another collector won, or mid-write
+                _remove_quietly(path)
+                task_id = result.get("task_id")
+                if task_id not in self._outstanding:
+                    continue  # duplicate or foreign ack
+                if not result.get("ok", False):
+                    raise RuntimeError(
+                        f"worker failed on task {task_id!r}: "
+                        f"{result.get('error')}")
+                self._outstanding.discard(task_id)
+                return task_id, result["payload"]
+            self._check_spawned_workers()
+            self._sweep_stale_claims()
+            time.sleep(self.poll_interval)
+
+    def _sweep_stale_claims(self) -> None:
+        """Requeue claims of crashed workers while the driver waits.
+
+        A task held longer than ``stale_claim_timeout`` is assumed orphaned
+        (its worker died mid-task) and returned to ``tasks/`` for a live
+        worker.  Tasks are pure, so the rare double execution of a merely
+        slow task is wasteful but harmless — duplicate acks are filtered by
+        the outstanding-id check above.
+        """
+        now = time.time()
+        if now - self._last_stale_sweep < self.stale_claim_timeout:
+            return
+        self._last_stale_sweep = now
+        self.requeue_stale(self.stale_claim_timeout)
+
+    def _check_spawned_workers(self) -> None:
+        """Fail fast instead of polling forever when every spawned worker
+        died (external workers may still exist when spawn_workers == 0)."""
+        if not self._processes:
+            return
+        if any(process.poll() is None for process in self._processes):
+            return
+        stderr_tail = ""
+        for log_path in self._stderr_logs:
+            try:
+                with open(log_path, "rb") as handle:
+                    tail = handle.read()[-2000:].decode("utf-8", "replace")
+            except OSError:
+                continue
+            if tail:
+                stderr_tail = tail
+        raise RuntimeError("all spawned queue workers exited while "
+                           f"{len(self._outstanding)} tasks are "
+                           f"outstanding; last stderr: {stderr_tail}")
+
+    def requeue_stale(self, max_age_seconds: float = 0.0) -> int:
+        """Return claims older than ``max_age_seconds`` to the task queue."""
+        claimed_dir = self._path("claimed")
+        requeued = 0
+        now = time.time()
+        for name in sorted(os.listdir(claimed_dir)):
+            path = os.path.join(claimed_dir, name)
+            try:
+                age = now - os.path.getmtime(path)
+            except OSError:
+                continue
+            if age >= max_age_seconds:
+                try:
+                    os.rename(path, self._path("tasks", name))
+                    requeued += 1
+                except OSError:
+                    continue
+        return requeued
+
+    def close(self):
+        try:
+            _atomic_write(self._path(_STOP_SENTINEL), b"stop")
+        except OSError:
+            pass
+        for process in self._processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                process.wait(timeout=5)
+        self._processes = []
+        self._outstanding = set()
+
+
+# --------------------------------------------------------------------------- #
+# Worker loop (the ``repro worker`` CLI)
+# --------------------------------------------------------------------------- #
+def _claim_next(queue_dir: str) -> Optional[str]:
+    """Claim one spooled task by atomic rename; return the claimed path."""
+    tasks_dir = os.path.join(queue_dir, "tasks")
+    claimed_dir = os.path.join(queue_dir, "claimed")
+    try:
+        names = sorted(os.listdir(tasks_dir))
+    except FileNotFoundError:
+        return None
+    for name in names:
+        if not name.endswith(".task"):
+            continue
+        source = os.path.join(tasks_dir, name)
+        target = os.path.join(claimed_dir, name)
+        try:
+            os.rename(source, target)
+        except OSError:
+            continue  # another worker won the race
+        return target
+    return None
+
+
+def _execute_claim(claimed_path: str, queue_dir: str,
+                   graphs: Dict[str, Graph],
+                   store: ArtifactStore) -> None:
+    """Execute one claimed envelope and ack its result (or error)."""
+    with open(claimed_path, "rb") as handle:
+        envelope: TaskEnvelope = pickle.load(handle)
+    try:
+        graph = graphs.get(envelope.graph_fingerprint)
+        if graph is None:
+            graph_path = os.path.join(queue_dir, "graphs",
+                                      f"{envelope.graph_fingerprint}.pkl")
+            with open(graph_path, "rb") as handle:
+                graph = _graph_from_arrays(pickle.load(handle))
+            graphs[envelope.graph_fingerprint] = graph
+        payload = execute_task(envelope.task, graph, store, envelope.inputs)
+        result = {"task_id": envelope.task_id, "ok": True, "payload": payload}
+    except BaseException as error:  # ack the failure; the backend raises
+        result = {"task_id": envelope.task_id, "ok": False,
+                  "error": f"{type(error).__name__}: {error}"}
+    name = os.path.basename(claimed_path)[:-len(".task")] + ".result"
+    _atomic_write(os.path.join(queue_dir, "results", name), result)
+    os.remove(claimed_path)
+
+
+def run_worker(queue_dir: str, poll_interval: float = 0.05,
+               max_tasks: Optional[int] = None,
+               stop_when_idle: bool = False) -> int:
+    """Claim-execute-ack loop of one queue worker; returns tasks processed.
+
+    The worker exits when the queue's ``stop`` sentinel appears and no task
+    is claimable, after ``max_tasks`` tasks, or — with ``stop_when_idle`` —
+    as soon as the queue is momentarily empty (drain mode).
+    """
+    config_path = os.path.join(queue_dir, _CONFIG_FILE)
+    cache_dir = None
+    if os.path.exists(config_path):
+        with open(config_path, "rb") as handle:
+            cache_dir = pickle.load(handle).get("cache_dir")
+    store = ArtifactStore(cache_dir)
+    graphs: Dict[str, Graph] = {}
+    processed = 0
+    while max_tasks is None or processed < max_tasks:
+        claimed = _claim_next(queue_dir)
+        if claimed is None:
+            if stop_when_idle:
+                break
+            if os.path.exists(os.path.join(queue_dir, _STOP_SENTINEL)):
+                break
+            time.sleep(poll_interval)
+            continue
+        _execute_claim(claimed, queue_dir, graphs, store)
+        processed += 1
+    return processed

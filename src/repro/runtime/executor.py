@@ -1,54 +1,67 @@
-"""Parallel executor and deterministic merge of the profiling runtime.
+"""Profiling executor: plan → task DAG → backend → deterministic merge.
 
 Execution model
 ---------------
-The plan's :class:`~repro.runtime.jobs.WorkUnit` is the unit of dispatch: one
-``(graph, partitioner, k)`` combination whose partition artifact is shared by
-the quality metrics, the partitioning run-time samples and every workload
-execution of that combination.  Units are independent of each other, so they
-run in any order on a :class:`concurrent.futures.ProcessPoolExecutor`
-(``jobs > 1``) or inline (``jobs == 1``); the merge step
-(:func:`build_dataset`) replays the plan's corpus order, which makes the
-resulting :class:`~repro.ease.dataset.ProfileDataset` identical to a
-sequential run regardless of completion order.
+Since the task-DAG refactor the unit of dispatch is no longer the monolithic
+:class:`~repro.runtime.jobs.WorkUnit` but its fine-grained tasks
+(:mod:`repro.runtime.tasks`): ``PartitionTask`` feeds a ``QualityTask``, a
+``PartitionTimeTask`` and one ``ProcessingTask`` per workload.  A
+:class:`~repro.runtime.scheduler.Scheduler` tracks readiness and dispatches
+ready tasks to a pluggable :class:`~repro.runtime.backends.ExecutorBackend`
+— inline, process pool, or a shared-directory worker queue — so a single
+huge graph fans out across workers instead of pinning one of them.
+
+The merge step (:func:`build_dataset`) replays the plan's corpus order,
+which makes the resulting :class:`~repro.ease.dataset.ProfileDataset`
+identical to a sequential run regardless of backend or completion order.
 
 Artifacts and caching
 ---------------------
-Every intermediate value is looked up in an :class:`ArtifactStore` before it
-is computed.  With a ``cache_dir``, artifacts persist across runs: a warm
-re-run of the same grid partitions nothing and only replays the merge.  The
-partitioning run-time is only cached in ``"model"`` mode — wall-clock
-measurements are remeasured by design (and the measurement itself re-runs the
-partitioner, which is excluded from the partition-count accounting).
+Every task consults an :class:`ArtifactStore` before computing.  With a
+``cache_dir``, artifacts persist across runs: a warm re-run of the same grid
+partitions nothing and only replays the merge.  Model-mode partitioning
+run-times are cached; wall-clock measurements are remeasured by design (but
+see checkpointing below).
 
 Checkpoint / resume
 -------------------
-With a ``checkpoint_path``, completed unit payloads are incrementally
-pickled; a later run with the same path skips them and completes the rest,
-after which :func:`build_dataset` emits the full dataset in canonical order.
+With a ``checkpoint_path``, completed *task* payloads are incrementally
+pickled; a later run with the same path skips them — mid-unit — and
+completes the rest.  This includes wall-clock timing samples, which never
+enter the artifact cache.  Partition assignments are deliberately not
+checkpointed (they are large and cheap to restore from the disk cache or
+recompute).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import shutil
 import tempfile
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..graph import Graph
-from ..partitioning import (
-    EdgePartition,
-    compute_quality_metrics,
-    create_partitioner,
-)
-from ..processing import ProcessingEngine, create_algorithm
 from .artifacts import ArtifactStore
-from .jobs import ProfilePlan, PropertiesJob, WorkUnit
+from .backends import (
+    ExecutorBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    WorkerPoolBackend,
+)
+from .jobs import ProfilePlan
+from .scheduler import (
+    DISPOSITION_CACHE,
+    DISPOSITION_CHECKPOINT,
+    DISPOSITION_EXECUTED,
+    DISPOSITION_PRUNED,
+    Scheduler,
+    build_task_graph,
+)
 
 __all__ = [
     "AVERAGE_ITERATION_ALGORITHMS",
+    "BACKEND_NAMES",
     "ProfileExecutor",
     "ProfileRunStats",
     "build_dataset",
@@ -60,134 +73,12 @@ __all__ = [
 AVERAGE_ITERATION_ALGORITHMS = frozenset(
     {"pagerank", "label_propagation", "synthetic_low", "synthetic_high"})
 
-_CHECKPOINT_VERSION = 1
+#: Selectable backend names (``auto`` picks inline for ``jobs == 1`` and the
+#: process pool otherwise).
+BACKEND_NAMES = ("auto", "inline", "process", "worker")
 
-
-# --------------------------------------------------------------------------- #
-# Worker-side job execution (top level so it pickles into pool workers)
-# --------------------------------------------------------------------------- #
-def _compute_properties(graph: Graph, job: PropertiesJob,
-                        store: ArtifactStore):
-    from ..graph import compute_properties
-
-    cached = store.get(job.key)
-    if cached is not None:
-        return cached, False
-    properties = compute_properties(graph,
-                                    exact_triangles=job.exact_triangles,
-                                    seed=job.seed)
-    store.put(job.key, properties)
-    return properties, True
-
-
-def _partitioning_seconds(graph: Graph, graph_name: str, unit: WorkUnit,
-                          store: ArtifactStore) -> float:
-    from ..ease.partitioning_cost import (
-        PartitioningCostModel,
-        measure_wall_clock_partitioning_time,
-    )
-
-    if unit.time_mode == "wall_clock":
-        return measure_wall_clock_partitioning_time(
-            graph, unit.partitioner, unit.num_partitions, seed=unit.seed)
-    timing_key = unit.quality_job(graph_name).timing_key
-    cached = store.get(timing_key)
-    if cached is not None:
-        return cached
-    # The simulated run-time jitters deterministically per graph *name*
-    # (mimicking run-to-run variance); evaluate the cost model under the name
-    # of the corpus entry that asked, not of the representative graph object.
-    original_name = graph.name
-    try:
-        graph.name = graph_name
-        seconds = PartitioningCostModel().estimate_seconds(
-            graph, unit.partitioner, unit.num_partitions)
-    finally:
-        graph.name = original_name
-    return store.put(timing_key, seconds)
-
-
-def _execute_unit(graph: Graph, unit: WorkUnit,
-                  store: ArtifactStore) -> Dict[str, Any]:
-    payload: Dict[str, Any] = {"quality": None, "timing": {},
-                               "processing": {}, "partitions_computed": 0}
-    partition: Optional[EdgePartition] = None
-
-    def resolve_partition() -> EdgePartition:
-        nonlocal partition
-        if partition is None:
-            key = unit.partition_job().key
-            assignment = store.get(key)
-            if assignment is None:
-                partitioner = create_partitioner(unit.partitioner,
-                                                 seed=unit.seed)
-                partition = partitioner(graph, unit.num_partitions)
-                payload["partitions_computed"] += 1
-                store.put(key, partition.assignment)
-            else:
-                partition = EdgePartition(graph, unit.num_partitions,
-                                          assignment, unit.partitioner)
-        return partition
-
-    quality_key = unit.quality_job(graph.name).quality_key
-    metrics = store.get(quality_key)
-    if metrics is None:
-        metrics = compute_quality_metrics(resolve_partition()).as_dict()
-        store.put(quality_key, metrics)
-    payload["quality"] = metrics
-
-    for graph_name in unit.timing_names:
-        payload["timing"][graph_name] = _partitioning_seconds(
-            graph, graph_name, unit, store)
-
-    for algorithm_name in unit.algorithms:
-        key = unit.processing_job(algorithm_name).key
-        result = store.get(key)
-        if result is None:
-            engine = ProcessingEngine(unit.cluster)
-            algorithm = create_algorithm(algorithm_name, seed=unit.seed)
-            outcome = engine.run(resolve_partition(), algorithm)
-            result = {
-                "total_seconds": outcome.total_seconds,
-                "num_supersteps": outcome.num_supersteps,
-                "average_iteration_seconds":
-                    outcome.average_iteration_seconds,
-            }
-            store.put(key, result)
-        payload["processing"][algorithm_name] = result
-    return payload
-
-
-#: Per-worker state installed by :func:`_init_worker`: the graphs of the
-#: current plan (keyed by fingerprint) and the cache directory.  Shipping the
-#: edge arrays once per worker instead of once per task keeps the IPC volume
-#: proportional to the corpus, not to the grid, and lets a worker reuse a
-#: graph's cached adjacency views across its units.
-_WORKER_GRAPHS: Dict[str, Graph] = {}
-_WORKER_CACHE_DIR: Optional[str] = None
-
-
-def _init_worker(graph_arrays: Dict[str, Tuple],
-                 cache_dir: Optional[str]) -> None:
-    global _WORKER_GRAPHS, _WORKER_CACHE_DIR
-    _WORKER_GRAPHS = {
-        fingerprint: Graph(src, dst, num_vertices=num_vertices, name=name,
-                           graph_type=graph_type)
-        for fingerprint, (src, dst, num_vertices, name, graph_type)
-        in graph_arrays.items()}
-    _WORKER_CACHE_DIR = cache_dir
-
-
-def _run_task(task) -> Tuple[Any, Any]:
-    """Pool entry point: execute one properties job or one work unit."""
-    kind, key, fingerprint, job = task
-    graph = _WORKER_GRAPHS[fingerprint]
-    store = ArtifactStore(_WORKER_CACHE_DIR)
-    if kind == "properties":
-        properties, computed = _compute_properties(graph, job, store)
-        return key, {"properties": properties,
-                     "properties_computed": int(computed)}
-    return key, _execute_unit(graph, job, store)
+#: Version 2: checkpoints are keyed by task ids instead of work units.
+_CHECKPOINT_VERSION = 2
 
 
 # --------------------------------------------------------------------------- #
@@ -195,8 +86,12 @@ def _run_task(task) -> Tuple[Any, Any]:
 # --------------------------------------------------------------------------- #
 @dataclass
 class ProfileRunStats:
-    """Job-count accounting of one profiling run.
+    """Task- and unit-level accounting of one profiling run.
 
+    Unit counters classify each work unit by how its tasks were satisfied:
+    fully from the artifact cache (``cache_hit_units``), from the checkpoint
+    (``checkpoint_units``, possibly mixed with cache hits), or with at least
+    one task actually executed (``executed_units``).
     ``partition_slots_enumerated`` counts grid slots as the sequential
     profiler would execute them (one partitioning each);
     ``unique_partition_jobs`` counts the deduplicated jobs after
@@ -214,6 +109,11 @@ class ProfileRunStats:
     duplicate_partitions_avoided: int = 0
     properties_total: int = 0
     properties_computed: int = 0
+    total_tasks: int = 0
+    executed_tasks: int = 0
+    cache_hit_tasks: int = 0
+    checkpoint_tasks: int = 0
+    backend: str = ""
 
     def cache_hit_rate(self) -> float:
         """Fraction of work units fully served by the artifact cache."""
@@ -221,7 +121,7 @@ class ProfileRunStats:
             return 0.0
         return self.cache_hit_units / self.total_units
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "total_units": self.total_units,
             "executed_units": self.executed_units,
@@ -234,6 +134,11 @@ class ProfileRunStats:
             "duplicate_partitions_avoided": self.duplicate_partitions_avoided,
             "properties_total": self.properties_total,
             "properties_computed": self.properties_computed,
+            "total_tasks": self.total_tasks,
+            "executed_tasks": self.executed_tasks,
+            "cache_hit_tasks": self.cache_hit_tasks,
+            "checkpoint_tasks": self.checkpoint_tasks,
+            "backend": self.backend,
         }
 
 
@@ -241,7 +146,7 @@ class ProfileRunStats:
 # Checkpoints
 # --------------------------------------------------------------------------- #
 def save_checkpoint(path: str, payloads: Dict[Any, Any]) -> None:
-    """Atomically persist completed job payloads for later resumption."""
+    """Atomically persist completed task payloads for later resumption."""
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -258,7 +163,11 @@ def save_checkpoint(path: str, payloads: Dict[Any, Any]) -> None:
 
 
 def load_checkpoint(path: str) -> Dict[Any, Any]:
-    """Load a checkpoint written by :func:`save_checkpoint` (or ``{}``)."""
+    """Load a checkpoint written by :func:`save_checkpoint` (or ``{}``).
+
+    Unreadable files and other format versions (e.g. the unit-granular
+    checkpoints of PR 1) are ignored, not errors.
+    """
     if not os.path.exists(path):
         return {}
     try:
@@ -282,31 +191,81 @@ class ProfileExecutor:
     Parameters
     ----------
     jobs:
-        Number of worker processes; ``1`` executes inline (no pool, no
-        pickling) and is the right choice for small grids.
+        Degree of parallelism: pool size of the ``process`` backend, or the
+        number of locally spawned workers of the ``worker`` backend.
     cache_dir:
         Optional artifact cache directory shared by parent and workers.
     checkpoint_path:
-        Optional path for incremental payload checkpoints; if the file
-        already exists, its completed jobs are skipped (resume).
+        Optional path for incremental task-payload checkpoints; if the file
+        already exists, its completed tasks are skipped (resume).
     checkpoint_every:
-        Write the checkpoint after this many newly completed units.  Each
+        Write the checkpoint after this many newly completed tasks.  Each
         write rewrites the whole (small, scalar-only) payload dict, so the
-        default batches writes instead of paying one rewrite per unit on
-        large grids; a final write always happens at the end of the run.
+        default batches writes; a final write always happens at run end.
+    backend:
+        ``"auto"``/``None`` (inline for ``jobs == 1``, process pool
+        otherwise), one of :data:`BACKEND_NAMES`, or an
+        :class:`ExecutorBackend` instance (started and closed per run).
+    queue_dir:
+        Shared queue directory of the ``worker`` backend.  ``None`` uses a
+        run-scoped temporary directory (local workers are spawned either
+        way); point it at a shared filesystem to let external
+        ``repro worker`` processes participate.
+    granularity:
+        ``"task"`` (default) enables intra-unit parallelism; ``"unit"``
+        reproduces PR 1's unit-granular dispatch (one envelope per work
+        unit).
+    time_repeats:
+        Wall-clock partitioning-time measurements per combination; the mean
+        and standard deviation land on the dataset record.  Ignored in
+        ``model`` mode, which is deterministic.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
                  checkpoint_path: Optional[str] = None,
-                 checkpoint_every: int = 16) -> None:
+                 checkpoint_every: int = 16,
+                 backend: Union[None, str, ExecutorBackend] = None,
+                 queue_dir: Optional[str] = None,
+                 granularity: str = "task",
+                 time_repeats: int = 1) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if isinstance(backend, str) and backend not in BACKEND_NAMES:
+            raise ValueError(f"backend must be one of {BACKEND_NAMES} or an "
+                             "ExecutorBackend instance")
+        if granularity not in ("task", "unit"):
+            raise ValueError("granularity must be 'task' or 'unit'")
+        if time_repeats < 1:
+            raise ValueError("time_repeats must be >= 1")
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
+        self.backend = backend
+        self.queue_dir = queue_dir
+        self.granularity = granularity
+        self.time_repeats = time_repeats
+
+    # ------------------------------------------------------------------ #
+    def _make_backend(self) -> Tuple[ExecutorBackend, Optional[str]]:
+        """Resolve the configured backend; returns (backend, temp queue)."""
+        backend = self.backend
+        if isinstance(backend, ExecutorBackend):
+            return backend, None
+        if backend is None or backend == "auto":
+            backend = "inline" if self.jobs == 1 else "process"
+        if backend == "inline":
+            return InlineBackend(), None
+        if backend == "process":
+            return ProcessPoolBackend(max_workers=self.jobs), None
+        temp_queue = None
+        queue_dir = self.queue_dir
+        if queue_dir is None:
+            queue_dir = temp_queue = tempfile.mkdtemp(prefix="repro-queue-")
+        return WorkerPoolBackend(queue_dir, spawn_workers=self.jobs), \
+            temp_queue
 
     # ------------------------------------------------------------------ #
     def run(self, plan: ProfilePlan
@@ -315,129 +274,96 @@ class ProfileExecutor:
         checkpoint: Dict[Any, Any] = {}
         if self.checkpoint_path:
             checkpoint = load_checkpoint(self.checkpoint_path)
+        on_checkpoint = None
+        if self.checkpoint_path:
+            on_checkpoint = (lambda payloads:
+                             save_checkpoint(self.checkpoint_path, payloads))
 
+        task_graph = build_task_graph(plan, repeats=self.time_repeats)
+        scheduler = Scheduler(task_graph, store, checkpoint=checkpoint,
+                              on_checkpoint=on_checkpoint,
+                              checkpoint_every=self.checkpoint_every,
+                              granularity=self.granularity)
+        needed_fingerprints = scheduler.prepass()
+
+        backend, temp_queue = self._make_backend()
+        try:
+            if needed_fingerprints:
+                backend.start({fingerprint: plan.graphs[fingerprint]
+                               for fingerprint in needed_fingerprints},
+                              self.cache_dir, store=store)
+                try:
+                    outcome = scheduler.execute(backend)
+                finally:
+                    backend.close()
+            else:
+                outcome = scheduler.outcome
+        finally:
+            if temp_queue is not None:
+                shutil.rmtree(temp_queue, ignore_errors=True)
+
+        return self._assemble(plan, task_graph, outcome,
+                              backend_name=backend.name)
+
+    # ------------------------------------------------------------------ #
+    def _assemble(self, plan: ProfilePlan, task_graph, outcome,
+                  backend_name: str
+                  ) -> Tuple[Dict[Any, Any], ProfileRunStats]:
+        """Fold task payloads into per-unit payloads plus run statistics."""
         units = plan.work_units()
-        properties_jobs = plan.properties_jobs()
         stats = ProfileRunStats(
             total_units=len(units),
             partition_slots_enumerated=plan.enumerated_partition_slots(),
             unique_partition_jobs=len(units),
             duplicate_partitions_avoided=(plan.enumerated_partition_slots()
                                           - len(units)),
-            properties_total=len(properties_jobs))
+            properties_total=len(plan.properties_jobs()),
+            partitions_computed=outcome.partitions_computed,
+            backend=backend_name)
+
+        stats.total_tasks = len(task_graph.tasks)
+        for disposition in outcome.dispositions.values():
+            if disposition == DISPOSITION_EXECUTED:
+                stats.executed_tasks += 1
+            elif disposition == DISPOSITION_CHECKPOINT:
+                stats.checkpoint_tasks += 1
+            elif disposition in (DISPOSITION_CACHE, DISPOSITION_PRUNED):
+                stats.cache_hit_tasks += 1
 
         results: Dict[Any, Any] = {}
-        tasks: List[Tuple] = []
+        for job in plan.properties_jobs():
+            payload = outcome.payloads[job.key]
+            results[job.key] = payload["properties"]
+            stats.properties_computed += payload["computed"]
 
-        for job in properties_jobs:
-            if job.key in checkpoint:
-                results[job.key] = checkpoint[job.key]["properties"]
-            elif job.key in store:
-                results[job.key] = store.get(job.key)
-            else:
-                tasks.append(("properties", job.key, job.graph_fingerprint,
-                              job))
+        unit_tasks: Dict[Tuple[str, str, int], List] = {}
+        for task_id, unit_key in task_graph.unit_of.items():
+            unit_tasks.setdefault(unit_key, []).append(task_id)
 
         for unit in units:
-            result_key = (unit.graph_fingerprint, unit.partitioner,
-                          unit.num_partitions)
-            if unit in checkpoint:
-                results[result_key] = checkpoint[unit]
+            unit_key = (unit.graph_fingerprint, unit.partitioner,
+                        unit.num_partitions)
+            dispositions = [outcome.dispositions[task_id]
+                            for task_id in unit_tasks[unit_key]]
+            if DISPOSITION_EXECUTED in dispositions:
+                stats.executed_units += 1
+            elif DISPOSITION_CHECKPOINT in dispositions:
                 stats.checkpoint_units += 1
             else:
-                payload = self._unit_payload_from_store(store, unit)
-                if payload is not None:
-                    results[result_key] = payload
-                    stats.cache_hit_units += 1
-                else:
-                    tasks.append(("unit", result_key,
-                                  unit.graph_fingerprint, unit))
+                stats.cache_hit_units += 1
 
-        completed_since_checkpoint = 0
-        for key, job, payload in self._execute(tasks, store, plan):
-            if isinstance(job, PropertiesJob):
-                results[key] = payload["properties"]
-                stats.properties_computed += payload["properties_computed"]
-                checkpoint[job.key] = payload
-            else:
-                results[key] = payload
-                stats.executed_units += 1
-                stats.partitions_computed += payload["partitions_computed"]
-                checkpoint[job] = payload
-            completed_since_checkpoint += 1
-            if (self.checkpoint_path
-                    and completed_since_checkpoint >= self.checkpoint_every):
-                save_checkpoint(self.checkpoint_path, checkpoint)
-                completed_since_checkpoint = 0
-        if self.checkpoint_path and completed_since_checkpoint:
-            save_checkpoint(self.checkpoint_path, checkpoint)
+            payload: Dict[str, Any] = {"processing": {}}
+            for task_id in unit_tasks[unit_key]:
+                kind = task_id[0]
+                if kind == "quality":
+                    payload["quality"] = outcome.payloads[task_id]
+                elif kind == "partitioning_time_task":
+                    payload["timing"] = outcome.payloads[task_id]
+                elif kind == "processing":
+                    payload["processing"][task_id[4]] = \
+                        outcome.payloads[task_id]
+            results[unit_key] = payload
         return results, stats
-
-    # ------------------------------------------------------------------ #
-    def _execute(self, tasks: List[Tuple], store: ArtifactStore,
-                 plan: ProfilePlan):
-        if not tasks:
-            return
-        if self.jobs == 1:
-            # Inline: operate on the original graph objects (their cached
-            # adjacency views persist across units) and the parent store, so
-            # artifacts are shared across units without any serialization.
-            for kind, key, fingerprint, job in tasks:
-                graph = plan.graphs[fingerprint]
-                if kind == "properties":
-                    properties, computed = _compute_properties(graph, job,
-                                                               store)
-                    yield key, job, {"properties": properties,
-                                     "properties_computed": int(computed)}
-                else:
-                    yield key, job, _execute_unit(graph, job, store)
-            return
-        jobs_by_key = {task[1]: task[3] for task in tasks}
-        needed = {fingerprint for _, _, fingerprint, _ in tasks}
-        graph_arrays = {fingerprint: self._graph_arrays(plan, fingerprint)
-                        for fingerprint in needed}
-        with ProcessPoolExecutor(max_workers=self.jobs,
-                                 initializer=_init_worker,
-                                 initargs=(graph_arrays,
-                                           self.cache_dir)) as pool:
-            pending = {pool.submit(_run_task, task) for task in tasks}
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key, payload = future.result()
-                    yield key, jobs_by_key[key], payload
-
-    @staticmethod
-    def _graph_arrays(plan: ProfilePlan, fingerprint: str):
-        graph = plan.graphs[fingerprint]
-        return (graph.src, graph.dst, graph.num_vertices, graph.name,
-                graph.graph_type)
-
-    @staticmethod
-    def _unit_payload_from_store(store: ArtifactStore,
-                                 unit: WorkUnit) -> Optional[Dict[str, Any]]:
-        """Assemble a unit payload purely from cached artifacts, if possible.
-
-        Wall-clock timing is never cached (re-measuring is the point of that
-        mode), so such units always execute.
-        """
-        if unit.time_mode != "model":
-            return None
-        needed = [unit.quality_job(unit.timing_names[0]).quality_key]
-        needed.extend(unit.quality_job(name).timing_key
-                      for name in unit.timing_names)
-        needed.extend(unit.processing_job(algorithm).key
-                      for algorithm in unit.algorithms)
-        if not all(key in store for key in needed):
-            return None
-        payload: Dict[str, Any] = {"partitions_computed": 0}
-        payload["quality"] = store.get(needed[0])
-        payload["timing"] = {name: store.get(unit.quality_job(name).timing_key)
-                             for name in unit.timing_names}
-        payload["processing"] = {
-            algorithm: store.get(unit.processing_job(algorithm).key)
-            for algorithm in unit.algorithms}
-        return payload
 
 
 # --------------------------------------------------------------------------- #
@@ -450,7 +376,7 @@ def build_dataset(plan: ProfilePlan, results: Dict[Any, Any],
     Records are emitted by replaying the plan's corpus order — quality grid
     first (graph, partitioner, ``k`` loops), then the processing phase — so
     the dataset is byte-identical to a sequential run regardless of the
-    order in which units completed.
+    order in which tasks completed or the backend that ran them.
     """
     from ..ease.dataset import (
         PartitioningTimeRecord,
@@ -463,6 +389,16 @@ def build_dataset(plan: ProfilePlan, results: Dict[Any, Any],
                      for job in plan.properties_jobs()}
     dataset = ProfileDataset()
 
+    def timing_record(ref, partitioner, k, payload):
+        sample = payload["timing"][ref.name]
+        return PartitioningTimeRecord(
+            graph_name=ref.name, graph_type=ref.graph_type,
+            properties=properties_of[ref.fingerprint],
+            partitioner=partitioner, num_partitions=k,
+            seconds=sample["seconds"],
+            seconds_std=sample["seconds_std"],
+            repeats=sample["repeats"])
+
     for ref in plan.quality_refs:
         properties = properties_of[ref.fingerprint]
         for partitioner in plan.partitioner_names:
@@ -473,10 +409,8 @@ def build_dataset(plan: ProfilePlan, results: Dict[Any, Any],
                     graph_name=ref.name, graph_type=ref.graph_type,
                     properties=properties, partitioner=partitioner,
                     num_partitions=k, metrics=metrics))
-                dataset.partitioning_time.append(PartitioningTimeRecord(
-                    graph_name=ref.name, graph_type=ref.graph_type,
-                    properties=properties, partitioner=partitioner,
-                    num_partitions=k, seconds=payload["timing"][ref.name]))
+                dataset.partitioning_time.append(
+                    timing_record(ref, partitioner, k, payload))
             if progress is not None:
                 progress(ref.name, partitioner)
 
@@ -490,10 +424,8 @@ def build_dataset(plan: ProfilePlan, results: Dict[Any, Any],
                 graph_name=ref.name, graph_type=ref.graph_type,
                 properties=properties, partitioner=partitioner,
                 num_partitions=k, metrics=metrics))
-            dataset.partitioning_time.append(PartitioningTimeRecord(
-                graph_name=ref.name, graph_type=ref.graph_type,
-                properties=properties, partitioner=partitioner,
-                num_partitions=k, seconds=payload["timing"][ref.name]))
+            dataset.partitioning_time.append(
+                timing_record(ref, partitioner, k, payload))
             for algorithm in plan.algorithm_names:
                 outcome = payload["processing"][algorithm]
                 if algorithm in AVERAGE_ITERATION_ALGORITHMS:

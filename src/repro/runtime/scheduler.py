@@ -1,0 +1,325 @@
+"""Task-DAG construction and the readiness-tracking scheduler.
+
+:func:`build_task_graph` decomposes a :class:`ProfilePlan` into the
+fine-grained tasks of :mod:`repro.runtime.tasks`, keyed by ``task_id`` and
+grouped by the work unit they came from (for unit-level accounting and the
+``granularity="unit"`` fused mode).
+
+:class:`Scheduler` drives a :class:`TaskGraph` to completion over any
+:class:`~repro.runtime.backends.ExecutorBackend`:
+
+1. :meth:`prepass` — every task is first offered its checkpoint payload,
+   then its artifact-store restore (a warm cache satisfies tasks without
+   dispatch; partition restores stay lazy so large assignments are only
+   loaded when a dependent actually executes).  Partition tasks none of
+   whose dependents will execute are pruned outright.
+2. :meth:`execute` — tasks whose dependencies are satisfied are submitted
+   to the backend; each completion may make further tasks ready.
+   Completion order is unconstrained — determinism comes from the merge
+   step replaying the plan order, exactly as in PR 1.
+3. *Release* — a partition payload is dropped as soon as its last consumer
+   finished, keeping peak memory proportional to partitions in flight
+   instead of the whole grid.
+
+Checkpointing happens at task granularity: scalar payloads (properties,
+quality, timing, processing) are incrementally pickled, so a resumed run
+skips completed tasks mid-unit — including wall-clock timing samples, which
+the artifact cache deliberately never holds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from .artifacts import ArtifactStore
+from .backends import ExecutorBackend, TaskEnvelope
+from .jobs import ProfilePlan
+from .tasks import (
+    LAZY_RESTORE,
+    FusedTask,
+    PartitionTask,
+    PartitionTimeTask,
+    ProcessingTask,
+    PropertiesTask,
+    QualityTask,
+    TaskId,
+)
+
+__all__ = ["TaskGraph", "Scheduler", "SchedulerOutcome", "build_task_graph"]
+
+#: How a task was satisfied (per-task dispositions feed the run statistics).
+DISPOSITION_EXECUTED = "executed"
+DISPOSITION_CHECKPOINT = "checkpoint"
+DISPOSITION_CACHE = "cache"
+DISPOSITION_PRUNED = "pruned"
+
+
+@dataclass
+class TaskGraph:
+    """The fine-grained tasks of one profiling run, in topological order.
+
+    ``tasks`` preserves construction order, which is a valid topological
+    order (a partition task always precedes its dependents).  ``unit_of``
+    maps task ids to the ``(fingerprint, partitioner, k)`` unit key they
+    decompose, for unit-level accounting and fusion.
+    """
+
+    tasks: Dict[TaskId, Any] = field(default_factory=dict)
+    unit_of: Dict[TaskId, Tuple[str, str, int]] = field(default_factory=dict)
+
+    def add(self, task, unit_key: Optional[Tuple[str, str, int]] = None):
+        task_id = task.task_id
+        if task_id not in self.tasks:
+            self.tasks[task_id] = task
+            if unit_key is not None:
+                self.unit_of[task_id] = unit_key
+        return self.tasks[task_id]
+
+
+def build_task_graph(plan: ProfilePlan, repeats: int = 1) -> TaskGraph:
+    """Decompose a plan's work units into the scheduler's task DAG."""
+    graph = TaskGraph()
+    for job in plan.properties_jobs():
+        graph.add(PropertiesTask(job.graph_fingerprint, job.exact_triangles,
+                                 job.seed))
+    for unit in plan.work_units():
+        unit_key = (unit.graph_fingerprint, unit.partitioner,
+                    unit.num_partitions)
+        graph.add(PartitionTask(unit.graph_fingerprint, unit.partitioner,
+                                unit.num_partitions, unit.seed), unit_key)
+        graph.add(QualityTask(unit.graph_fingerprint, unit.partitioner,
+                              unit.num_partitions, unit.seed), unit_key)
+        graph.add(PartitionTimeTask(unit.graph_fingerprint, unit.partitioner,
+                                    unit.num_partitions, unit.seed,
+                                    unit.time_mode, unit.timing_names,
+                                    repeats), unit_key)
+        for algorithm in unit.algorithms:
+            graph.add(ProcessingTask(unit.graph_fingerprint, unit.partitioner,
+                                     unit.num_partitions, algorithm,
+                                     unit.seed, unit.cluster), unit_key)
+    return graph
+
+
+@dataclass
+class SchedulerOutcome:
+    """Results and per-task dispositions of one scheduler run.
+
+    ``payloads`` maps task ids to their payloads; partition payloads that
+    were released (all consumers done, or pruned) hold the lazy marker or
+    are absent.  ``dispositions`` maps every task id to ``executed`` /
+    ``checkpoint`` / ``cache`` / ``pruned``.
+    """
+
+    payloads: Dict[TaskId, Any] = field(default_factory=dict)
+    dispositions: Dict[TaskId, str] = field(default_factory=dict)
+    partitions_computed: int = 0
+
+
+class Scheduler:
+    """Run a :class:`TaskGraph` to completion on an executor backend.
+
+    Parameters
+    ----------
+    graph:
+        The task DAG (construction order must be topological).
+    store:
+        Artifact store consulted in the pre-pass (and by inline execution).
+    checkpoint:
+        Mutable dict of previously completed task payloads; newly executed
+        checkpointable payloads are added to it.
+    on_checkpoint:
+        Called with the checkpoint dict every ``checkpoint_every`` newly
+        executed tasks (and once at the end if anything new completed).
+    granularity:
+        ``"task"`` dispatches each task separately (intra-unit parallelism);
+        ``"unit"`` fuses the unexecuted tasks of each work unit into one
+        envelope (the PR 1 dispatch shape: less IPC, no intra-unit fan-out).
+
+    Usage: call :meth:`prepass` first, start a backend with the graphs of
+    the returned fingerprints, then :meth:`execute` it.
+    """
+
+    def __init__(self, graph: TaskGraph, store: ArtifactStore,
+                 checkpoint: Optional[Dict[TaskId, Any]] = None,
+                 on_checkpoint: Optional[Callable] = None,
+                 checkpoint_every: int = 16,
+                 granularity: str = "task") -> None:
+        if granularity not in ("task", "unit"):
+            raise ValueError("granularity must be 'task' or 'unit'")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.graph = graph
+        self.store = store
+        self.checkpoint = checkpoint if checkpoint is not None else {}
+        self.on_checkpoint = on_checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.granularity = granularity
+        self.outcome = SchedulerOutcome()
+        self._schedulable: List = []
+        self._consumers_left: Dict[TaskId, int] = {}
+        self._done: Set[TaskId] = set()
+
+    # ------------------------------------------------------------------ #
+    def prepass(self) -> Set[str]:
+        """Satisfy tasks from checkpoint/store; prune unconsumed partitions.
+
+        Returns the graph fingerprints of the tasks that still need
+        execution (the graphs a backend must be started with).
+        """
+        to_execute: List[TaskId] = []
+        for task_id, task in self.graph.tasks.items():
+            if task.checkpointable and task_id in self.checkpoint:
+                self._record(task_id, DISPOSITION_CHECKPOINT,
+                             self.checkpoint[task_id])
+                continue
+            restored = task.restore(self.store)
+            if restored is not None:
+                self._record(task_id, DISPOSITION_CACHE, restored)
+                continue
+            to_execute.append(task_id)
+
+        # A partition whose dependents were all satisfied already would be
+        # computed for nobody — drop it (PR 1's fully-cached units behave
+        # the same way; its assignment is not part of any dataset record).
+        consumed: Set[TaskId] = set()
+        for task_id in to_execute:
+            consumed.update(self.graph.tasks[task_id].input_dependencies)
+        kept = []
+        for task_id in to_execute:
+            if task_id[0] == "partition" and task_id not in consumed:
+                self._record(task_id, DISPOSITION_PRUNED, None)
+            else:
+                kept.append(task_id)
+
+        if self.granularity == "unit":
+            self._schedulable = self._fuse_units(kept)
+        else:
+            self._schedulable = [self.graph.tasks[tid] for tid in kept]
+        for task in self._schedulable:
+            for dep in task.input_dependencies:
+                self._consumers_left[dep] = (
+                    self._consumers_left.get(dep, 0) + 1)
+        return {task.graph_fingerprint for task in self._schedulable}
+
+    # ------------------------------------------------------------------ #
+    def execute(self, backend: ExecutorBackend) -> SchedulerOutcome:
+        """Dispatch the unsatisfied tasks to ``backend`` until done."""
+        remaining_deps: Dict[TaskId, int] = {}
+        dependents_to_run: Dict[TaskId, List] = {}
+        ready = deque()
+        for task in self._schedulable:
+            missing = [dep for dep in task.dependencies
+                       if dep not in self._done]
+            if missing:
+                remaining_deps[task.task_id] = len(missing)
+                for dep in missing:
+                    dependents_to_run.setdefault(dep, []).append(task)
+            else:
+                ready.append(task)
+
+        in_flight: Dict[TaskId, Any] = {}
+        executed_since_checkpoint = 0
+        try:
+            while ready or in_flight:
+                while ready:
+                    task = ready.popleft()
+                    in_flight[task.task_id] = task
+                    backend.submit(self._envelope(task))
+                task_id, payload = backend.next_completed()
+                task = in_flight.pop(task_id)
+                member_payloads = (payload if isinstance(task, FusedTask)
+                                   else {task_id: payload})
+                for member_id, member_payload in member_payloads.items():
+                    self._record(member_id, DISPOSITION_EXECUTED,
+                                 member_payload)
+                    executed_since_checkpoint += 1
+                for dep in task.input_dependencies:
+                    self._release_consumer(dep)
+                for member_id in member_payloads:
+                    for dependent in dependents_to_run.pop(member_id, []):
+                        remaining_deps[dependent.task_id] -= 1
+                        if remaining_deps[dependent.task_id] == 0:
+                            ready.append(dependent)
+                if (self.on_checkpoint is not None
+                        and executed_since_checkpoint >= self.checkpoint_every):
+                    self.on_checkpoint(self.checkpoint)
+                    executed_since_checkpoint = 0
+        finally:
+            if self.on_checkpoint is not None and executed_since_checkpoint:
+                self.on_checkpoint(self.checkpoint)
+        return self.outcome
+
+    def run(self, backend: ExecutorBackend) -> SchedulerOutcome:
+        """Convenience: :meth:`prepass` then :meth:`execute` on ``backend``
+        (the backend must already be started with all plan graphs)."""
+        self.prepass()
+        return self.execute(backend)
+
+    # ------------------------------------------------------------------ #
+    def _fuse_units(self, to_execute: List[TaskId]) -> List:
+        """Group the unexecuted tasks of each unit into fused envelopes."""
+        groups: Dict[Tuple, List] = {}
+        singles: List = []
+        for task_id in to_execute:
+            task = self.graph.tasks[task_id]
+            unit_key = self.graph.unit_of.get(task_id)
+            if unit_key is None:
+                singles.append(task)
+            else:
+                groups.setdefault(unit_key, []).append(task)
+        fused = [members[0] if len(members) == 1
+                 else FusedTask(tuple(members))
+                 for members in groups.values()]
+        return singles + fused
+
+    def _record(self, task_id: TaskId, disposition: str,
+                payload: Any) -> None:
+        self.outcome.dispositions[task_id] = disposition
+        self._done.add(task_id)
+        if disposition == DISPOSITION_PRUNED:
+            return
+        task = self.graph.tasks[task_id]
+        if disposition == DISPOSITION_EXECUTED:
+            if task.checkpointable:
+                self.checkpoint[task_id] = payload
+            if task_id[0] == "partition":
+                self.outcome.partitions_computed += payload["computed"]
+                if self._consumers_left.get(task_id, 0) == 0:
+                    # No scheduled consumer (all dependents ran fused in the
+                    # same envelope): don't retain the assignment.
+                    payload = LAZY_RESTORE
+        self.outcome.payloads[task_id] = payload
+
+    # ------------------------------------------------------------------ #
+    def _envelope(self, task) -> TaskEnvelope:
+        inputs = {dep: self._input_payload(dep)
+                  for dep in task.input_dependencies}
+        return TaskEnvelope(task_id=task.task_id, task=task,
+                            graph_fingerprint=task.graph_fingerprint,
+                            inputs=inputs)
+
+    def _input_payload(self, dep: TaskId) -> Any:
+        payload = self.outcome.payloads.get(dep)
+        if payload is LAZY_RESTORE:
+            assignment = self.store.get(dep)
+            if assignment is None:
+                raise RuntimeError(f"artifact for {dep!r} vanished from the "
+                                   "store between pre-pass and dispatch")
+            payload = {"assignment": assignment, "computed": 0}
+            self.outcome.payloads[dep] = payload
+        if payload is None:
+            raise RuntimeError(f"dependency {dep!r} has no payload")
+        return payload
+
+    def _release_consumer(self, dep: TaskId) -> None:
+        remaining = self._consumers_left.get(dep)
+        if remaining is None:
+            return
+        remaining -= 1
+        self._consumers_left[dep] = remaining
+        if remaining == 0 and dep[0] == "partition":
+            # The assignment is not part of any dataset record; once the
+            # last consumer is done it only costs memory.
+            self.outcome.payloads[dep] = LAZY_RESTORE

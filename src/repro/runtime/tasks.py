@@ -1,0 +1,443 @@
+"""Fine-grained profiling tasks: the nodes of the scheduler's DAG.
+
+Each :class:`~repro.runtime.jobs.WorkUnit` of the plan decomposes into a
+small dependency graph::
+
+    PartitionTask ──> QualityTask
+                 ├──> PartitionTimeTask
+                 └──> ProcessingTask (one per workload)
+
+plus one independent :class:`PropertiesTask` per distinct graph content.
+Tasks are frozen, picklable dataclasses; their ``task_id`` doubles as the
+checkpoint key and — where the task produces exactly one artifact — as the
+content-addressed :class:`~repro.runtime.artifacts.ArtifactStore` key, so the
+PR 1 artifact cache stays valid across the refactor.
+
+``dependencies`` orders execution; ``input_dependencies`` is the subset whose
+*payload* the task actually consumes (the partition assignment).  The
+distinction matters for dispatch cost: a :class:`PartitionTimeTask` is
+sequenced after its partition (wall-clock measurements should not contend
+with the partitioner run) but never ships the assignment across a process
+boundary.
+
+Execution happens through :func:`execute_task`, the single entry point every
+backend uses — inline, in a pool worker, or in an external ``repro worker``
+process.  Each ``execute`` consults the artifact store first, so warm caches
+short-circuit at task granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+from ..processing import ClusterSpec
+from .artifacts import ArtifactStore
+from .jobs import _cluster_signature
+
+__all__ = [
+    "TaskId",
+    "LAZY_RESTORE",
+    "PropertiesTask",
+    "PartitionTask",
+    "QualityTask",
+    "PartitionTimeTask",
+    "ProcessingTask",
+    "FusedTask",
+    "execute_task",
+]
+
+#: Tasks are identified by flat tuples of primitives (hashable, picklable,
+#: stable across processes and sessions).
+TaskId = Tuple[Any, ...]
+
+#: Marker payload of a store-satisfied (or released) partition whose
+#: assignment is loaded from the artifact store only when a consumer needs
+#: it.  Compared by identity in the scheduler.
+LAZY_RESTORE = "lazy-restore"
+
+
+def _resolve_partition(graph: Graph, partition_task_id: TaskId,
+                       partitioner: str, num_partitions: int,
+                       store: ArtifactStore, inputs: Dict[TaskId, Any]):
+    """Materialise the :class:`EdgePartition` a dependent task consumes.
+
+    The assignment arrives either in ``inputs`` (shipped by the scheduler
+    from the producing task's payload) or from the artifact store (lazy load
+    when the partition was cache-satisfied).
+    """
+    from ..partitioning import EdgePartition
+
+    payload = inputs.get(partition_task_id)
+    if payload is not None:
+        assignment = payload["assignment"]
+    else:
+        assignment = store.get(partition_task_id)
+        if assignment is None:
+            raise RuntimeError(
+                f"partition artifact missing for task {partition_task_id!r}")
+    return EdgePartition(graph, num_partitions, assignment, partitioner)
+
+
+@dataclass(frozen=True)
+class PropertiesTask:
+    """Compute the :class:`GraphProperties` of one graph content."""
+
+    graph_fingerprint: str
+    exact_triangles: bool
+    seed: int
+
+    @property
+    def task_id(self) -> TaskId:
+        return ("properties", self.graph_fingerprint, self.exact_triangles,
+                self.seed)
+
+    @property
+    def dependencies(self) -> Tuple[TaskId, ...]:
+        return ()
+
+    input_dependencies = ()
+    checkpointable = True
+
+    def restore(self, store: ArtifactStore) -> Optional[Dict[str, Any]]:
+        cached = store.get(self.task_id)
+        if cached is None:
+            return None
+        return {"properties": cached, "computed": 0}
+
+    def execute(self, graph: Graph, store: ArtifactStore,
+                inputs: Dict[TaskId, Any]) -> Dict[str, Any]:
+        from ..graph import compute_properties
+
+        cached = store.get(self.task_id)
+        if cached is not None:
+            return {"properties": cached, "computed": 0}
+        properties = compute_properties(graph,
+                                        exact_triangles=self.exact_triangles,
+                                        seed=self.seed)
+        store.put(self.task_id, properties)
+        return {"properties": properties, "computed": 1}
+
+
+@dataclass(frozen=True)
+class PartitionTask:
+    """Produce the edge assignment of one ``(graph, partitioner, k)``.
+
+    The payload (the |E|-sized assignment array) is the input of every
+    dependent task; the scheduler releases it as soon as the last dependent
+    has consumed it, keeping peak memory at "partitions in flight" rather
+    than "whole grid".  Assignments are therefore never checkpointed — a
+    resumed run either finds them in the disk cache or recomputes them.
+    """
+
+    graph_fingerprint: str
+    partitioner: str
+    num_partitions: int
+    seed: int
+
+    @property
+    def task_id(self) -> TaskId:
+        return ("partition", self.graph_fingerprint, self.partitioner,
+                self.num_partitions, self.seed)
+
+    @property
+    def dependencies(self) -> Tuple[TaskId, ...]:
+        return ()
+
+    input_dependencies = ()
+    checkpointable = False
+
+    def restore(self, store: ArtifactStore) -> Optional[str]:
+        # The assignment may be large; defer the actual load until a
+        # dependent asks for it (the scheduler resolves the marker through
+        # the store).
+        return LAZY_RESTORE if self.task_id in store else None
+
+    def execute(self, graph: Graph, store: ArtifactStore,
+                inputs: Dict[TaskId, Any]) -> Dict[str, Any]:
+        from ..partitioning import create_partitioner
+
+        assignment = store.get(self.task_id)
+        if assignment is not None:
+            return {"assignment": assignment, "computed": 0}
+        partitioner = create_partitioner(self.partitioner, seed=self.seed)
+        partition = partitioner(graph, self.num_partitions)
+        store.put(self.task_id, partition.assignment)
+        return {"assignment": partition.assignment, "computed": 1}
+
+
+@dataclass(frozen=True)
+class QualityTask:
+    """Quality metrics of one partitioned graph (consumes the partition)."""
+
+    graph_fingerprint: str
+    partitioner: str
+    num_partitions: int
+    seed: int
+
+    @property
+    def task_id(self) -> TaskId:
+        return ("quality", self.graph_fingerprint, self.partitioner,
+                self.num_partitions, self.seed)
+
+    @property
+    def partition_task_id(self) -> TaskId:
+        return ("partition", self.graph_fingerprint, self.partitioner,
+                self.num_partitions, self.seed)
+
+    @property
+    def dependencies(self) -> Tuple[TaskId, ...]:
+        return (self.partition_task_id,)
+
+    @property
+    def input_dependencies(self) -> Tuple[TaskId, ...]:
+        return (self.partition_task_id,)
+
+    checkpointable = True
+
+    def restore(self, store: ArtifactStore) -> Optional[Dict[str, float]]:
+        return store.get(self.task_id)
+
+    def execute(self, graph: Graph, store: ArtifactStore,
+                inputs: Dict[TaskId, Any]) -> Dict[str, float]:
+        from ..partitioning import compute_quality_metrics
+
+        cached = store.get(self.task_id)
+        if cached is not None:
+            return cached
+        partition = _resolve_partition(graph, self.partition_task_id,
+                                       self.partitioner, self.num_partitions,
+                                       store, inputs)
+        return store.put(self.task_id,
+                         compute_quality_metrics(partition).as_dict())
+
+
+@dataclass(frozen=True)
+class PartitionTimeTask:
+    """Partitioning run-time samples of one combination.
+
+    ``timing_names`` lists the corpus-entry names needing a sample (the
+    simulated cost model jitters per graph *name*).  In ``wall_clock`` mode
+    each name is measured ``repeats`` times and the payload records mean,
+    standard deviation and sample count; model mode is deterministic, so it
+    always reports one exact sample.  Wall-clock samples are never stored in
+    the artifact cache (re-measuring is the point of that mode) but *are*
+    checkpointed, so an interrupted wall-clock campaign resumes without
+    repeating completed measurements.
+    """
+
+    graph_fingerprint: str
+    partitioner: str
+    num_partitions: int
+    seed: int
+    time_mode: str
+    timing_names: Tuple[str, ...]
+    repeats: int = 1
+
+    @property
+    def task_id(self) -> TaskId:
+        return ("partitioning_time_task", self.graph_fingerprint,
+                self.partitioner, self.num_partitions, self.seed,
+                self.time_mode, self.timing_names, self.repeats)
+
+    @property
+    def partition_task_id(self) -> TaskId:
+        return ("partition", self.graph_fingerprint, self.partitioner,
+                self.num_partitions, self.seed)
+
+    @property
+    def dependencies(self) -> Tuple[TaskId, ...]:
+        # Sequenced after the partition so wall-clock measurements never
+        # contend with the "real" partitioner run of the same combination,
+        # but the assignment itself is not consumed (input_dependencies).
+        return (self.partition_task_id,)
+
+    input_dependencies = ()
+    checkpointable = True
+
+    def _store_key(self, graph_name: str) -> TaskId:
+        # Same key as QualityJob.timing_key, so PR 1 caches stay warm.
+        return ("partitioning_time", self.graph_fingerprint, graph_name,
+                self.partitioner, self.num_partitions, self.seed,
+                self.time_mode)
+
+    def restore(self, store: ArtifactStore
+                ) -> Optional[Dict[str, Dict[str, float]]]:
+        if self.time_mode != "model":
+            return None
+        payload = {}
+        for name in self.timing_names:
+            seconds = store.get(self._store_key(name))
+            if seconds is None:
+                return None
+            payload[name] = {"seconds": seconds, "seconds_std": 0.0,
+                             "repeats": 1}
+        return payload
+
+    def execute(self, graph: Graph, store: ArtifactStore,
+                inputs: Dict[TaskId, Any]) -> Dict[str, Dict[str, float]]:
+        return {name: self._measure(graph, name, store)
+                for name in self.timing_names}
+
+    def _measure(self, graph: Graph, graph_name: str,
+                 store: ArtifactStore) -> Dict[str, float]:
+        from ..ease.partitioning_cost import (
+            PartitioningCostModel,
+            measure_wall_clock_partitioning_time,
+        )
+
+        if self.time_mode == "wall_clock":
+            samples = np.array([
+                measure_wall_clock_partitioning_time(
+                    graph, self.partitioner, self.num_partitions,
+                    seed=self.seed)
+                for _ in range(max(self.repeats, 1))])
+            return {"seconds": float(samples.mean()),
+                    "seconds_std": float(samples.std()),
+                    "repeats": int(samples.size)}
+        key = self._store_key(graph_name)
+        seconds = store.get(key)
+        if seconds is None:
+            # The simulated run-time jitters deterministically per graph
+            # *name*; evaluate the cost model under the name of the corpus
+            # entry that asked, not of the representative graph object.
+            original_name = graph.name
+            try:
+                graph.name = graph_name
+                seconds = PartitioningCostModel().estimate_seconds(
+                    graph, self.partitioner, self.num_partitions)
+            finally:
+                graph.name = original_name
+            store.put(key, seconds)
+        return {"seconds": seconds, "seconds_std": 0.0, "repeats": 1}
+
+
+@dataclass(frozen=True)
+class ProcessingTask:
+    """One workload execution on one partitioned graph in the simulator."""
+
+    graph_fingerprint: str
+    partitioner: str
+    num_partitions: int
+    algorithm: str
+    seed: int
+    cluster: Optional[ClusterSpec]
+
+    @property
+    def task_id(self) -> TaskId:
+        return ("processing", self.graph_fingerprint, self.partitioner,
+                self.num_partitions, self.algorithm, self.seed,
+                _cluster_signature(self.cluster))
+
+    @property
+    def partition_task_id(self) -> TaskId:
+        return ("partition", self.graph_fingerprint, self.partitioner,
+                self.num_partitions, self.seed)
+
+    @property
+    def dependencies(self) -> Tuple[TaskId, ...]:
+        return (self.partition_task_id,)
+
+    @property
+    def input_dependencies(self) -> Tuple[TaskId, ...]:
+        return (self.partition_task_id,)
+
+    checkpointable = True
+
+    def restore(self, store: ArtifactStore) -> Optional[Dict[str, Any]]:
+        return store.get(self.task_id)
+
+    def execute(self, graph: Graph, store: ArtifactStore,
+                inputs: Dict[TaskId, Any]) -> Dict[str, Any]:
+        from ..processing import ProcessingEngine, create_algorithm
+
+        cached = store.get(self.task_id)
+        if cached is not None:
+            return cached
+        partition = _resolve_partition(graph, self.partition_task_id,
+                                       self.partitioner, self.num_partitions,
+                                       store, inputs)
+        engine = ProcessingEngine(self.cluster)
+        algorithm = create_algorithm(self.algorithm, seed=self.seed)
+        outcome = engine.run(partition, algorithm)
+        return store.put(self.task_id, {
+            "total_seconds": outcome.total_seconds,
+            "num_supersteps": outcome.num_supersteps,
+            "average_iteration_seconds": outcome.average_iteration_seconds,
+        })
+
+
+@dataclass(frozen=True)
+class FusedTask:
+    """Several tasks of one work unit dispatched as a single envelope.
+
+    This is the ``granularity="unit"`` compatibility mode: the member tasks
+    execute sequentially in one worker, intermediate payloads (the partition
+    assignment) flow locally instead of through the scheduler, and the
+    result maps each member's ``task_id`` to its payload.  It reproduces the
+    PR 1 unit-granular dispatch — the baseline the intra-unit speedup
+    benchmark compares against — and remains useful when per-task IPC would
+    dominate (many tiny graphs).
+    """
+
+    tasks: Tuple[Any, ...]
+
+    @property
+    def graph_fingerprint(self) -> str:
+        return self.tasks[0].graph_fingerprint
+
+    @property
+    def task_id(self) -> TaskId:
+        return ("fused",) + tuple(task.task_id for task in self.tasks)
+
+    @property
+    def member_ids(self) -> Tuple[TaskId, ...]:
+        return tuple(task.task_id for task in self.tasks)
+
+    @property
+    def dependencies(self) -> Tuple[TaskId, ...]:
+        members = set(self.member_ids)
+        seen, external = set(), []
+        for task in self.tasks:
+            for dep in task.dependencies:
+                if dep not in members and dep not in seen:
+                    seen.add(dep)
+                    external.append(dep)
+        return tuple(external)
+
+    @property
+    def input_dependencies(self) -> Tuple[TaskId, ...]:
+        members = set(self.member_ids)
+        seen, external = set(), []
+        for task in self.tasks:
+            for dep in task.input_dependencies:
+                if dep not in members and dep not in seen:
+                    seen.add(dep)
+                    external.append(dep)
+        return tuple(external)
+
+    checkpointable = False
+
+    def restore(self, store: ArtifactStore) -> None:
+        return None
+
+    def execute(self, graph: Graph, store: ArtifactStore,
+                inputs: Dict[TaskId, Any]) -> Dict[TaskId, Any]:
+        local: Dict[TaskId, Any] = dict(inputs)
+        payloads: Dict[TaskId, Any] = {}
+        for task in self.tasks:
+            sub_inputs = {dep: local[dep]
+                          for dep in task.input_dependencies if dep in local}
+            payload = task.execute(graph, store, sub_inputs)
+            local[task.task_id] = payload
+            payloads[task.task_id] = payload
+        return payloads
+
+
+def execute_task(task, graph: Graph, store: ArtifactStore,
+                 inputs: Optional[Dict[TaskId, Any]] = None):
+    """Execute one task (or fused group): the entry point of every backend."""
+    return task.execute(graph, store, inputs or {})

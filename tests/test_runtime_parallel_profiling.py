@@ -30,7 +30,7 @@ from repro.ease.persistence import (
     merge_datasets,
     save_dataset,
 )
-from repro.runtime import ArtifactStore, WorkUnit, graph_fingerprint
+from repro.runtime import ArtifactStore, graph_fingerprint
 from repro.runtime.executor import load_checkpoint, save_checkpoint
 from repro.cli import main
 
@@ -193,10 +193,39 @@ class TestCheckpointResume:
         full = profiler.profile(graphs, graphs, checkpoint_path=checkpoint)
         assert_datasets_identical(full, reference)
 
-        # Drop half of the completed units to simulate an interrupted run.
+        # Drop every task of alternating units to simulate an interrupted
+        # run (checkpoints are task-granular since the DAG refactor).
         payloads = load_checkpoint(checkpoint)
-        unit_keys = [key for key in payloads if isinstance(key, WorkUnit)]
-        dropped = unit_keys[::2]
+        unit_tasks = {}
+        for key in payloads:
+            if key[0] in ("quality", "processing",
+                          "partitioning_time_task"):
+                unit_tasks.setdefault(tuple(key[1:4]), []).append(key)
+        dropped = sorted(unit_tasks)[::2]
+        for unit_key in dropped:
+            for key in unit_tasks[unit_key]:
+                del payloads[key]
+        save_checkpoint(checkpoint, payloads)
+
+        resumed_profiler = make_profiler()
+        resumed = resumed_profiler.profile(graphs, graphs,
+                                           checkpoint_path=checkpoint)
+        assert_datasets_identical(resumed, reference)
+        stats = resumed_profiler.last_run_stats
+        assert stats.checkpoint_units == len(unit_tasks) - len(dropped)
+        assert stats.executed_units == len(dropped)
+
+    def test_resume_mid_unit_skips_completed_tasks(self, graphs, reference,
+                                                   tmp_path):
+        checkpoint = str(tmp_path / "mid-unit.checkpoint")
+        profiler = make_profiler()
+        profiler.profile(graphs, graphs, checkpoint_path=checkpoint)
+
+        # Drop only the processing tasks: the quality metrics and timing of
+        # every unit stay checkpointed, so resuming executes the workloads
+        # (plus the partitions they consume) but never re-measures quality.
+        payloads = load_checkpoint(checkpoint)
+        dropped = [key for key in payloads if key[0] == "processing"]
         for key in dropped:
             del payloads[key]
         save_checkpoint(checkpoint, payloads)
@@ -206,8 +235,10 @@ class TestCheckpointResume:
                                            checkpoint_path=checkpoint)
         assert_datasets_identical(resumed, reference)
         stats = resumed_profiler.last_run_stats
-        assert stats.checkpoint_units == len(unit_keys) - len(dropped)
-        assert stats.executed_units == len(dropped)
+        processing_units = len(graphs) * len(PARTITIONERS)
+        assert stats.executed_units == processing_units
+        assert stats.executed_tasks == len(dropped) + processing_units
+        assert stats.partitions_computed == processing_units
 
     def test_corrupt_checkpoint_is_ignored(self, graphs, reference,
                                            tmp_path):
