@@ -1,0 +1,210 @@
+"""Selection-service throughput: sequential requests vs. micro-batching.
+
+The serving subsystem's claim is that coalescing concurrent selection
+requests into one vectorized predictor pass amortises the per-call model
+overhead: a batch of B requests scores a (B x candidates) feature matrix with
+the same number of model invocations as a single request.  This benchmark
+trains a small EASE system, then measures requests/sec of the
+:class:`~repro.serving.service.SelectionService`:
+
+* **sequential** — one thread, unstarted service (inline execution, batch
+  size 1 per request);
+* **micro-batched** — the batching worker running, swept over client
+  concurrency levels; every client thread issues blocking requests in a
+  closed loop.
+
+Batched and sequential answers are asserted identical (same selected
+partitioner per request), and the full run asserts micro-batched throughput
+>= MIN_BATCHED_SPEEDUP x the sequential baseline at concurrency >= 8.
+
+Runs both as a pytest benchmark and as a script; ``--quick`` is the CI smoke
+mode (tiny model, equality assertions only, no timing thresholds).
+"""
+
+import argparse
+import sys
+import threading
+import time
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if __package__ is None or __package__ == "":
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _harness import cached, format_table, report
+from repro.generators import generate_rmat
+from repro.ease import EASE, GraphProfiler
+from repro.graph import compute_properties
+from repro.serving import SelectionService
+
+PARTITIONERS = ("2d", "1dd", "dbh", "hdrf", "2ps")
+CONCURRENCY_SWEEP = (1, 2, 4, 8, 16, 32)
+REQUESTS_PER_LEVEL = 240
+#: Best-of repeats per level, the same noise control as the other
+#: throughput benches (thread scheduling jitter swings single runs by
+#: tens of percent).
+REPEATS = 3
+MIN_BATCHED_SPEEDUP = 3.0
+ASSERTED_CONCURRENCY = 8
+
+QUICK_CONCURRENCY_SWEEP = (1, 4)
+QUICK_REQUESTS_PER_LEVEL = 24
+
+
+def _train_system(num_graphs: int = 4):
+    profiler = GraphProfiler(partitioner_names=PARTITIONERS,
+                             partition_counts=(2,),
+                             processing_partition_count=2,
+                             algorithms=("pagerank",))
+    graphs = [generate_rmat(96, 500 + 150 * s, seed=s, graph_type="rmat")
+              for s in range(num_graphs)]
+    dataset = profiler.profile(graphs, graphs)
+    return EASE(partitioner_names=PARTITIONERS).train(dataset)
+
+
+def _request_grid(num_requests: int):
+    """(properties, k) job mix over a handful of query graphs."""
+    graphs = [generate_rmat(128, 800 + 120 * s, seed=30 + s)
+              for s in range(4)]
+    properties = [compute_properties(g, exact_triangles=False)
+                  for g in graphs]
+    return [(properties[i % len(properties)], 2 + (i % 3))
+            for i in range(num_requests)]
+
+
+def _run_closed_loop(service, jobs, concurrency: int):
+    """Run ``jobs`` through ``service.select`` from ``concurrency`` threads."""
+    results = [None] * len(jobs)
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(offset: int) -> None:
+        barrier.wait()
+        for index in range(offset, len(jobs), concurrency):
+            properties, k = jobs[index]
+            results[index] = service.select(properties, "pagerank", k)
+
+    threads = [threading.Thread(target=worker, args=(offset,))
+               for offset in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return results, elapsed
+
+
+def _best_of(service_factory, jobs, concurrency: int, repeats: int,
+             expected=None, start_worker: bool = True):
+    """Best requests/sec over ``repeats`` runs (plus mean batch size)."""
+    best_rps = 0.0
+    mean_batch = 0.0
+    results = None
+    for _ in range(repeats):
+        service = service_factory()
+        if start_worker:
+            service.start()
+        try:
+            results, elapsed = _run_closed_loop(service, jobs, concurrency)
+        finally:
+            service.stop()
+        if expected is not None:
+            for result, reference in zip(results, expected):
+                if result.selected != reference.selected:
+                    raise AssertionError(
+                        "micro-batched selection differs from single-request "
+                        f"serving: {result.selected!r} != "
+                        f"{reference.selected!r}")
+        if len(jobs) / elapsed > best_rps:
+            best_rps = len(jobs) / elapsed
+            mean_batch = service.stats.mean_batch_size()
+    return best_rps, mean_batch, results
+
+
+def run_benchmark(concurrency_sweep, requests_per_level: int,
+                  check_speedup: bool = True, repeats: int = REPEATS):
+    system = cached("selection_service_model", _train_system)
+    jobs = _request_grid(requests_per_level)
+
+    def unbatched():
+        # Single-request serving: same worker/queue/future machinery, but
+        # every request is its own predictor pass (batch size capped at 1).
+        return SelectionService(system, max_batch_size=1)
+
+    def batched():
+        return SelectionService(system, max_batch_size=64,
+                                batch_wait_seconds=0.002)
+
+    # One-thread inline reference (no worker at all), for context.
+    inline_rps, _, reference = _best_of(
+        lambda: SelectionService(system), jobs, concurrency=1,
+        repeats=repeats, start_worker=False)
+    rows = [("inline sequential", 1, len(jobs), inline_rps, inline_rps,
+             "1.00x", 1.0)]
+
+    speedup_at = {}
+    for concurrency in concurrency_sweep:
+        single_rps, _, _ = _best_of(unbatched, jobs, concurrency, repeats,
+                                    expected=reference)
+        batch_rps, mean_batch, _ = _best_of(batched, jobs, concurrency,
+                                            repeats, expected=reference)
+        speedup = batch_rps / single_rps
+        speedup_at[concurrency] = speedup
+        rows.append((f"c={concurrency}", concurrency, len(jobs), single_rps,
+                     batch_rps, f"{speedup:.2f}x", mean_batch))
+
+    table = format_table(
+        ("mode", "clients", "requests", "single req/s", "batched req/s",
+         "speedup", "mean batch"),
+        rows,
+        title=f"Selection-service throughput: {len(PARTITIONERS)} candidate "
+              f"partitioners, {requests_per_level} requests per level, "
+              "best of "
+              f"{repeats}; single-request = same service with batching "
+              "disabled (max_batch_size=1); identical selections asserted "
+              "per request")
+    report("selection_service_throughput", table)
+
+    if check_speedup:
+        best = max(speedup_at[c] for c in speedup_at
+                   if c >= ASSERTED_CONCURRENCY)
+        assert best >= MIN_BATCHED_SPEEDUP, (
+            f"micro-batched speedup {best:.2f}x at concurrency >= "
+            f"{ASSERTED_CONCURRENCY} below {MIN_BATCHED_SPEEDUP}x")
+    return speedup_at
+
+
+if pytest is not None:
+    @pytest.mark.benchmark(group="selection_service")
+    def test_selection_service_throughput(benchmark):
+        speedup_at = benchmark.pedantic(
+            run_benchmark, args=(CONCURRENCY_SWEEP, REQUESTS_PER_LEVEL),
+            rounds=1, iterations=1)
+        assert max(speedup_at[c] for c in speedup_at
+                   if c >= ASSERTED_CONCURRENCY) >= MIN_BATCHED_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: tiny model, equality assertions "
+                             "only (no timing thresholds)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        run_benchmark(QUICK_CONCURRENCY_SWEEP, QUICK_REQUESTS_PER_LEVEL,
+                      check_speedup=False, repeats=1)
+        print("quick smoke passed: micro-batched selections identical to "
+              "sequential")
+    else:
+        run_benchmark(CONCURRENCY_SWEEP, REQUESTS_PER_LEVEL)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,16 @@ Two support the profiling runtime:
     Shrink a content-addressed artifact cache to a size bound (LRU order)
     and report the reclaimed bytes.
 
+Two expose the serving subsystem (``docs/SERVING.md``):
+
+``models``
+    Manage the model registry: ``publish`` a trained bundle as a
+    content-hashed version, ``list`` versions, ``promote`` a version to a
+    tag such as ``production``.
+``serve``
+    Run the HTTP selection server on a registry model or a bundle file;
+    concurrent requests are micro-batched into single predictor calls.
+
 Example session::
 
     python -m repro.cli generate --output graphs/ --max-graphs 40
@@ -35,6 +45,9 @@ Example session::
     python -m repro.cli train --profile profile.pkl --output ease.pkl
     python -m repro.cli select --model ease.pkl --graph my_graph.txt \
         --algorithm pagerank --partitions 8 --goal end_to_end
+    python -m repro.cli models publish --registry registry/ \
+        --model ease.pkl --name ease --profile profile.pkl --tag production
+    python -m repro.cli serve --registry registry/ --name ease --port 8080
 """
 
 from __future__ import annotations
@@ -48,8 +61,14 @@ from .graph import Graph, load_npz, read_edge_list, save_npz
 from .generators import generate_training_corpus, rmat_small_grid
 from .partitioning import ALL_PARTITIONER_NAMES
 from .processing import ALL_ALGORITHM_NAMES
-from .ease import EASE, GraphProfiler, OptimizationGoal
-from .ease.persistence import load_dataset, load_ease, save_dataset, save_ease
+from .ease import EASE, GraphProfiler, OptimizationGoal, ProfileDataset
+from .ease.persistence import (
+    canonical_sorted,
+    load_dataset,
+    merge_datasets,
+    save_dataset,
+    save_ease,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -93,6 +112,16 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_profile(args: argparse.Namespace) -> int:
     graphs = _load_graph_directory(args.graphs)
+    existing = None
+    if args.extend:
+        if not os.path.exists(args.extend):
+            raise SystemExit(f"--extend dataset {args.extend!r} does not exist")
+        existing = load_dataset(args.extend)
+        known = set(existing.graph_names())
+        skipped = [graph for graph in graphs if graph.name in known]
+        graphs = [graph for graph in graphs if graph.name not in known]
+        print(f"extending {args.extend}: {len(skipped)} graphs already "
+              f"profiled, {len(graphs)} new")
     profiler = GraphProfiler(
         partitioner_names=args.partitioners,
         partition_counts=tuple(args.partition_counts),
@@ -108,21 +137,29 @@ def _command_profile(args: argparse.Namespace) -> int:
     checkpoint_path = args.output + ".checkpoint"
     if not args.resume and os.path.exists(checkpoint_path):
         os.remove(checkpoint_path)
-    dataset = profiler.profile(graphs, graphs,
-                               checkpoint_path=checkpoint_path)
+    if graphs:
+        dataset = profiler.profile(graphs, graphs,
+                                   checkpoint_path=checkpoint_path)
+    else:
+        dataset = ProfileDataset()
+    if existing is not None:
+        # Merge the incremental run into the existing corpus; canonical
+        # order makes the result independent of which graphs came first.
+        dataset = canonical_sorted(merge_datasets([existing, dataset]))
     save_dataset(dataset, args.output)
     if os.path.exists(checkpoint_path):
         os.remove(checkpoint_path)
     stats = profiler.last_run_stats
     print(f"profiled {len(graphs)} graphs -> {dataset.summary()}")
-    print(f"jobs={args.jobs}  backend={stats.backend}"
-          f"  partitions computed={stats.partitions_computed}"
-          f"  cache hit rate={stats.cache_hit_rate():.0%}"
-          f"  resumed units={stats.checkpoint_units}")
-    print(f"tasks: {stats.executed_tasks} executed, "
-          f"{stats.cache_hit_tasks} from cache, "
-          f"{stats.checkpoint_tasks} from checkpoint "
-          f"of {stats.total_tasks} total")
+    if stats is not None:
+        print(f"jobs={args.jobs}  backend={stats.backend}"
+              f"  partitions computed={stats.partitions_computed}"
+              f"  cache hit rate={stats.cache_hit_rate():.0%}"
+              f"  resumed units={stats.checkpoint_units}")
+        print(f"tasks: {stats.executed_tasks} executed, "
+              f"{stats.cache_hit_tasks} from cache, "
+              f"{stats.checkpoint_tasks} from checkpoint "
+              f"of {stats.total_tasks} total")
     print(f"dataset written to {args.output}")
     return 0
 
@@ -164,14 +201,43 @@ def _command_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace, **service_kwargs):
+    """SelectionService (+ registry, if any) from --model or --registry."""
+    from .serving import ModelRegistry, SelectionService
+
+    if getattr(args, "registry", None):
+        if not getattr(args, "name", None):
+            raise SystemExit("--name is required with --registry")
+        registry = ModelRegistry(args.registry)
+        return SelectionService.from_registry(
+            registry, args.name, getattr(args, "ref", None),
+            **service_kwargs), registry
+    if not getattr(args, "model", None):
+        raise SystemExit("either --model or --registry/--name is required")
+    return SelectionService.from_bundle(args.model, **service_kwargs), None
+
+
 def _command_select(args: argparse.Namespace) -> int:
-    system = load_ease(args.model)
-    graph = _load_graph(args.graph)
-    result = system.select_partitioner(graph, algorithm=args.algorithm,
-                                       num_partitions=args.partitions,
-                                       goal=args.goal,
-                                       num_iterations=args.iterations)
-    print(f"graph: {graph.name}  |V|={graph.num_vertices} |E|={graph.num_edges}")
+    if (args.graph is None) == (args.properties is None):
+        raise SystemExit("exactly one of --graph and --properties is required")
+    service, _ = _build_service(args)
+    if args.properties:
+        import json
+
+        from .graph import GraphProperties
+
+        with open(args.properties, "r", encoding="utf-8") as handle:
+            graph = GraphProperties.from_dict(json.load(handle))
+        print(f"graph: {args.properties} (precomputed properties)  "
+              f"|V|={graph.num_vertices} |E|={graph.num_edges}")
+    else:
+        graph = _load_graph(args.graph)
+        print(f"graph: {graph.name}  |V|={graph.num_vertices} "
+              f"|E|={graph.num_edges}")
+    result = service.select(graph, algorithm=args.algorithm,
+                            num_partitions=args.partitions,
+                            goal=args.goal,
+                            num_iterations=args.iterations)
     print(f"algorithm: {args.algorithm}  k={args.partitions}  goal={args.goal}")
     print(f"selected partitioner: {result.selected}")
     print(f"{'partitioner':12s} {'partitioning (s)':>17s} {'processing (s)':>15s} "
@@ -181,6 +247,77 @@ def _command_select(args: argparse.Namespace) -> int:
               f"{score.predicted_partitioning_seconds:17.4f} "
               f"{score.predicted_processing_seconds:15.4f} "
               f"{score.predicted_end_to_end_seconds:15.4f}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serving import SelectionHTTPServer
+
+    # Batching knobs go through the constructor so its validation applies.
+    try:
+        service, registry = _build_service(
+            args, max_batch_size=args.max_batch_size,
+            batch_wait_seconds=args.batch_wait_ms / 1000.0)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    server = SelectionHTTPServer(service, registry=registry, host=args.host,
+                                 port=args.port, verbose=args.verbose)
+    info = service.model_info
+    # server.url reports the actually bound port (--port 0 picks a free one)
+    print(f"serving model {info.get('name')!r} version {info.get('version')} "
+          f"on {server.url}")
+    print("endpoints: POST /v1/select  POST /v1/predict  GET /v1/models  "
+          "GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _command_models_publish(args: argparse.Namespace) -> int:
+    from .serving import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    dataset = load_dataset(args.profile) if args.profile else None
+    entry = registry.publish(args.model, args.name, dataset=dataset)
+    for tag in args.tag or ():
+        entry = registry.promote(args.name, entry.version, tag=tag)
+    tags = f" tags={','.join(entry.tags)}" if entry.tags else ""
+    print(f"published {entry.name} version {entry.version}{tags}")
+    return 0
+
+
+def _command_models_list(args: argparse.Namespace) -> int:
+    from .serving import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    entries = (registry.versions(args.name) if args.name
+               else registry.list_models())
+    if not entries:
+        print("no published models")
+        return 0
+    print(f"{'name':16s} {'version':14s} {'tags':20s} {'created':22s} "
+          f"{'partitioners':>12s} {'algorithms':>10s}")
+    for entry in entries:
+        manifest = entry.manifest
+        print(f"{entry.name:16s} {entry.version:14s} "
+              f"{','.join(entry.tags) or '-':20s} "
+              f"{manifest.get('created_at', '-'):22s} "
+              f"{len(manifest.get('partitioners', [])):12d} "
+              f"{len(manifest.get('algorithms', [])):10d}")
+    return 0
+
+
+def _command_models_promote(args: argparse.Namespace) -> int:
+    from .serving import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    resolved = registry.resolve(args.name, args.version)
+    entry = registry.promote(args.name, resolved.version, tag=args.tag)
+    print(f"promoted {entry.name} version {entry.version} to {args.tag!r}")
     return 0
 
 
@@ -250,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--resume", action="store_true",
                          help="resume from the checkpoint left by an "
                               "interrupted run of the same command")
+    profile.add_argument("--extend", default=None, metavar="DATASET",
+                         help="incremental corpus growth: profile only the "
+                              "graphs absent from this existing dataset "
+                              "(shared combinations ride the warm artifact "
+                              "cache) and write the merged, canonically "
+                              "sorted dataset to --output")
     profile.set_defaults(handler=_command_profile)
 
     worker = subparsers.add_parser(
@@ -292,10 +435,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     select = subparsers.add_parser(
         "select", help="select a partitioner for a graph and workload")
-    select.add_argument("--model", required=True,
-                        help="trained model produced by the train command")
-    select.add_argument("--graph", required=True,
+    _add_model_source_arguments(select, model_required=False)
+    select.add_argument("--graph", default=None,
                         help="graph file (.npz or whitespace edge list)")
+    select.add_argument("--properties", default=None, metavar="JSON",
+                        help="precomputed GraphProperties JSON (as_dict "
+                             "output); skips graph loading and property "
+                             "recomputation")
     select.add_argument("--algorithm", required=True,
                         choices=list(ALL_ALGORITHM_NAMES) + ["label_propagation"])
     select.add_argument("--partitions", type=int, default=4)
@@ -306,7 +452,72 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of iterations for fixed-iteration "
                              "algorithms")
     select.set_defaults(handler=_command_select)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP selection server "
+                      "(micro-batched /v1/select, /v1/predict)")
+    _add_model_source_arguments(serve, model_required=False)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks a free port)")
+    serve.add_argument("--max-batch-size", type=int, default=64,
+                       help="upper bound of one coalesced micro-batch")
+    serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       help="how long the batcher waits for additional "
+                            "concurrent requests")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(handler=_command_serve)
+
+    models = subparsers.add_parser(
+        "models", help="manage the versioned model registry")
+    models_commands = models.add_subparsers(dest="models_command",
+                                            required=True)
+    publish = models_commands.add_parser(
+        "publish", help="publish a trained bundle as a content-hashed version")
+    publish.add_argument("--registry", required=True,
+                         help="registry directory (created if missing)")
+    publish.add_argument("--model", required=True,
+                         help="trained model produced by the train command")
+    publish.add_argument("--name", required=True, help="model name")
+    publish.add_argument("--profile", default=None,
+                         help="profiling dataset the model was trained from "
+                              "(records provenance in the manifest)")
+    publish.add_argument("--tag", action="append", default=None,
+                         help="tag to point at the published version "
+                              "(repeatable, e.g. --tag production)")
+    publish.set_defaults(handler=_command_models_publish)
+    models_list = models_commands.add_parser(
+        "list", help="list published versions and their tags")
+    models_list.add_argument("--registry", required=True)
+    models_list.add_argument("--name", default=None,
+                             help="restrict to one model name")
+    models_list.set_defaults(handler=_command_models_list)
+    promote = models_commands.add_parser(
+        "promote", help="point a tag (e.g. production) at a version")
+    promote.add_argument("--registry", required=True)
+    promote.add_argument("--name", required=True)
+    promote.add_argument("--version", required=True,
+                         help="version id or unique prefix")
+    promote.add_argument("--tag", default="production")
+    promote.set_defaults(handler=_command_models_promote)
     return parser
+
+
+def _add_model_source_arguments(parser: argparse.ArgumentParser,
+                                model_required: bool) -> None:
+    """--model (bundle file) or --registry/--name/--ref (registry version)."""
+    parser.add_argument("--model", required=model_required, default=None,
+                        help="trained model produced by the train command")
+    parser.add_argument("--registry", default=None,
+                        help="model registry directory (alternative to "
+                             "--model)")
+    parser.add_argument("--name", default=None,
+                        help="registry model name (with --registry)")
+    parser.add_argument("--ref", default=None,
+                        help="registry version id, prefix or tag (default: "
+                             "the production tag, falling back to the "
+                             "newest version)")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -8,6 +8,7 @@ from .features import (
     ProcessingTimeFeatureBuilder,
     graph_feature_names,
     graph_feature_vector,
+    graph_feature_matrix,
 )
 from .dataset import (
     PartitioningTimeRecord,
@@ -31,6 +32,7 @@ from .selector import (
     OptimizationGoal,
     PartitionerScore,
     PartitionerSelector,
+    SelectionRequest,
     SelectionResult,
 )
 from .training import (
@@ -64,6 +66,7 @@ __all__ = [
     "ProcessingTimeFeatureBuilder",
     "graph_feature_names",
     "graph_feature_vector",
+    "graph_feature_matrix",
     "PartitioningTimeRecord",
     "ProcessingRecord",
     "ProfileDataset",
@@ -80,6 +83,7 @@ __all__ = [
     "OptimizationGoal",
     "PartitionerScore",
     "PartitionerSelector",
+    "SelectionRequest",
     "SelectionResult",
     "MODEL_FAMILIES",
     "ModelComparison",

@@ -27,6 +27,7 @@ __all__ = [
     "FEATURE_SETS",
     "graph_feature_names",
     "graph_feature_vector",
+    "graph_feature_matrix",
     "QualityFeatureBuilder",
     "PartitioningTimeFeatureBuilder",
     "ProcessingTimeFeatureBuilder",
@@ -58,6 +59,33 @@ def graph_feature_vector(properties: GraphProperties,
     values = properties.as_dict()
     return np.array([values[name] for name in graph_feature_names(feature_set)],
                     dtype=np.float64)
+
+
+def graph_feature_matrix(properties: Sequence[GraphProperties],
+                         feature_set: str = "basic") -> np.ndarray:
+    """Graph-property feature matrix, one row per entry of ``properties``.
+
+    A profiling dataset holds many records per graph and they all share the
+    same :class:`GraphProperties` instance (the serving micro-batcher tiles
+    one instance across every candidate partitioner in the same way), so the
+    property dictionary of each distinct instance is unpacked once and its
+    row broadcast to every position that references it.
+    """
+    names = graph_feature_names(feature_set)
+    unique_rows: List[List[float]] = []
+    row_of: Dict[int, int] = {}
+    index = np.empty(len(properties), dtype=np.intp)
+    for position, props in enumerate(properties):
+        row = row_of.get(id(props))
+        if row is None:
+            values = props.as_dict()
+            row = len(unique_rows)
+            unique_rows.append([values[name] for name in names])
+            row_of[id(props)] = row
+        index[position] = row
+    if not unique_rows:
+        return np.empty((0, len(names)), dtype=np.float64)
+    return np.asarray(unique_rows, dtype=np.float64)[index]
 
 
 class _PartitionerEncoder:
@@ -110,9 +138,7 @@ class QualityFeatureBuilder:
     def build(self, properties: Sequence[GraphProperties],
               partitioner_names: Sequence[str],
               partition_counts: Sequence[int]) -> np.ndarray:
-        graph_features = np.vstack([
-            graph_feature_vector(props, self.feature_set)
-            for props in properties])
+        graph_features = graph_feature_matrix(properties, self.feature_set)
         partitioner_features = self._partitioner_encoder.transform(partitioner_names)
         k_column = np.asarray(partition_counts, dtype=np.float64).reshape(-1, 1)
         return np.hstack([graph_features, k_column, partitioner_features])
@@ -144,9 +170,7 @@ class PartitioningTimeFeatureBuilder:
 
     def build(self, properties: Sequence[GraphProperties],
               partitioner_names: Sequence[str]) -> np.ndarray:
-        graph_features = np.vstack([
-            graph_feature_vector(props, self.feature_set)
-            for props in properties])
+        graph_features = graph_feature_matrix(properties, self.feature_set)
         partitioner_features = self._partitioner_encoder.transform(partitioner_names)
         return np.hstack([graph_features, partitioner_features])
 
@@ -172,9 +196,7 @@ class ProcessingTimeFeatureBuilder:
     def build(self, properties: Sequence[GraphProperties],
               partition_counts: Sequence[int],
               quality_metrics: Sequence[Dict[str, float]]) -> np.ndarray:
-        graph_features = np.vstack([
-            graph_feature_vector(props, self.feature_set)
-            for props in properties])
+        graph_features = graph_feature_matrix(properties, self.feature_set)
         k_column = np.asarray(partition_counts, dtype=np.float64).reshape(-1, 1)
         metric_matrix = np.array([
             [metrics[name] for name in QUALITY_METRIC_NAMES]

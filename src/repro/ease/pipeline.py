@@ -21,7 +21,12 @@ from .partitioning_time_predictor import PartitioningTimePredictor
 from .processing_time_predictor import ProcessingTimePredictor
 from .profiling import GraphProfiler
 from .quality_predictor import PartitioningQualityPredictor
-from .selector import OptimizationGoal, PartitionerSelector, SelectionResult
+from .selector import (
+    OptimizationGoal,
+    PartitionerSelector,
+    SelectionRequest,
+    SelectionResult,
+)
 
 __all__ = ["EASE"]
 
@@ -144,3 +149,8 @@ class EASE:
         """Automatically select a partitioner for a processing job."""
         return self.selector.select(graph, algorithm, num_partitions,
                                     goal=goal, num_iterations=num_iterations)
+
+    def select_partitioner_batch(self, requests: Sequence[SelectionRequest]
+                                 ) -> Sequence[SelectionResult]:
+        """Select partitioners for many jobs in one vectorized predictor pass."""
+        return self.selector.select_batch(requests)

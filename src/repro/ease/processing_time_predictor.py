@@ -152,6 +152,40 @@ class ProcessingTimePredictor:
         raw = self._models[algorithm].predict(scaled)
         return np.clip(self._inverse_target(raw), 0.0, None)
 
+    def predict_total_seconds_batch(self, algorithms: Sequence[str],
+                                    properties: Sequence[GraphProperties],
+                                    partition_counts: Sequence[int],
+                                    quality_metrics: Sequence[Dict[str, float]],
+                                    num_iterations: Optional[Sequence[Optional[int]]] = None
+                                    ) -> np.ndarray:
+        """Predict total processing times for a batch of jobs.
+
+        Rows may mix algorithms; they are grouped so each per-algorithm model
+        is invoked once per batch.  ``num_iterations`` is an optional per-row
+        sequence (``None`` entries fall back to the default of 10 iterations
+        for average-iteration algorithms).
+        """
+        count = len(algorithms)
+        if num_iterations is None:
+            num_iterations = [None] * count
+        rows_of: Dict[str, List[int]] = {}
+        for row, algorithm in enumerate(algorithms):
+            rows_of.setdefault(algorithm, []).append(row)
+        totals = np.empty(count, dtype=np.float64)
+        for algorithm, rows in rows_of.items():
+            targets = self.predict_target(
+                algorithm,
+                [properties[row] for row in rows],
+                [partition_counts[row] for row in rows],
+                [quality_metrics[row] for row in rows])
+            for row, target in zip(rows, targets):
+                total = float(target)
+                if algorithm in AVERAGE_ITERATION_ALGORITHMS:
+                    iterations = num_iterations[row]
+                    total *= iterations if iterations is not None else 10
+                totals[row] = total
+        return totals
+
     def predict_total_seconds(self, algorithm: str,
                               properties: GraphProperties,
                               num_partitions: int,
@@ -163,13 +197,9 @@ class ProcessingTimePredictor:
         requested ``num_iterations`` (default 10, the paper's PageRank
         profiling setting).
         """
-        target = float(self.predict_target(algorithm, [properties],
-                                           [num_partitions],
-                                           [quality_metrics])[0])
-        if algorithm in AVERAGE_ITERATION_ALGORITHMS:
-            iterations = num_iterations if num_iterations is not None else 10
-            return target * iterations
-        return target
+        return float(self.predict_total_seconds_batch(
+            [algorithm], [properties], [num_partitions], [quality_metrics],
+            [num_iterations])[0])
 
     def evaluate(self, records: Sequence[ProcessingRecord]
                  ) -> Dict[str, Dict[str, float]]:

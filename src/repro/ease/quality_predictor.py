@@ -134,17 +134,40 @@ class PartitioningQualityPredictor:
         scaled = self._scalers[target].transform(features)
         return self._models[target].predict(scaled)
 
+    def predict_metric_columns(self, properties: Sequence[GraphProperties],
+                               partitioners: Sequence[str],
+                               partition_counts: Sequence[int]
+                               ) -> Dict[str, np.ndarray]:
+        """All five metrics for a batch, one clipped array per metric.
+
+        One model call per metric scores the whole batch; the serving
+        micro-batcher and the selector's batched scoring path rely on this to
+        amortise per-call overhead across concurrent requests.  Both the
+        replication factor and the balance metrics are >= 1 by definition, so
+        predictions are clipped to that bound.
+        """
+        return {
+            target: np.maximum(1.0, self.predict_metric(
+                target, properties, partitioners, partition_counts))
+            for target in QUALITY_METRIC_NAMES
+        }
+
+    def predict_batch(self, properties: Sequence[GraphProperties],
+                      partitioners: Sequence[str],
+                      partition_counts: Sequence[int]
+                      ) -> List[PartitionQualityMetrics]:
+        """Predict all five metrics for a batch of (graph, partitioner, k)."""
+        columns = self.predict_metric_columns(properties, partitioners,
+                                              partition_counts)
+        return [PartitionQualityMetrics(**{target: float(columns[target][row])
+                                           for target in QUALITY_METRIC_NAMES})
+                for row in range(len(properties))]
+
     def predict(self, properties: GraphProperties, partitioner: str,
                 num_partitions: int) -> PartitionQualityMetrics:
         """Predict all five metrics for a single (graph, partitioner, k)."""
-        # Both the replication factor and the balance metrics are >= 1 by
-        # definition, so predictions are clipped to that bound.
-        values = {
-            target: float(max(1.0, self.predict_metric(
-                target, [properties], [partitioner], [num_partitions])[0]))
-            for target in QUALITY_METRIC_NAMES
-        }
-        return PartitionQualityMetrics(**values)
+        return self.predict_batch([properties], [partitioner],
+                                  [num_partitions])[0]
 
     # ------------------------------------------------------------------ #
     def evaluate(self, records: Sequence[QualityRecord]) -> Dict[str, Dict[str, float]]:

@@ -18,7 +18,7 @@ from .processing_time_predictor import ProcessingTimePredictor
 from .quality_predictor import PartitioningQualityPredictor
 
 __all__ = ["OptimizationGoal", "PartitionerScore", "SelectionResult",
-           "PartitionerSelector"]
+           "SelectionRequest", "PartitionerSelector"]
 
 
 class OptimizationGoal:
@@ -78,6 +78,21 @@ class SelectionResult:
         raise KeyError(partitioner)
 
 
+@dataclass
+class SelectionRequest:
+    """One selection (or prediction) job for the batched selector path.
+
+    ``graph`` may be a full :class:`Graph` or precomputed
+    :class:`GraphProperties` — the cheap path a serving caller uses.
+    """
+
+    graph: Union[Graph, GraphProperties]
+    algorithm: str
+    num_partitions: int
+    goal: str = OptimizationGoal.END_TO_END
+    num_iterations: Optional[int] = None
+
+
 class PartitionerSelector:
     """Automatic partitioner selection from the three EASE predictors.
 
@@ -105,36 +120,80 @@ class PartitionerSelector:
             return graph
         return compute_properties(graph, exact_triangles=False)
 
+    def score_partitioners_batch(self, requests: Sequence[SelectionRequest]
+                                 ) -> List[List[PartitionerScore]]:
+        """Predict costs of every candidate for a batch of requests.
+
+        The (requests x candidates) grid is flattened into one feature matrix
+        per predictor, so each underlying model is called once regardless of
+        the batch size — the core of the serving micro-batcher.
+        """
+        if not requests:
+            return []
+        candidates = self.partitioner_names
+        properties = [self._resolve_properties(request.graph)
+                      for request in requests]
+        flat_properties = [props for props in properties
+                           for _ in candidates]
+        flat_partitioners = list(candidates) * len(requests)
+        flat_counts = [request.num_partitions for request in requests
+                       for _ in candidates]
+        flat_algorithms = [request.algorithm for request in requests
+                           for _ in candidates]
+        flat_iterations = [request.num_iterations for request in requests
+                           for _ in candidates]
+        quality_columns = self.quality_predictor.predict_metric_columns(
+            flat_properties, flat_partitioners, flat_counts)
+        metric_names = list(quality_columns)
+        quality_dicts = [
+            {name: float(quality_columns[name][row]) for name in metric_names}
+            for row in range(len(flat_partitioners))]
+        partitioning_seconds = self.partitioning_time_predictor.predict(
+            flat_properties, flat_partitioners)
+        processing_seconds = self.processing_time_predictor.predict_total_seconds_batch(
+            flat_algorithms, flat_properties, flat_counts, quality_dicts,
+            num_iterations=flat_iterations)
+        scores_per_request: List[List[PartitionerScore]] = []
+        for base in range(0, len(flat_partitioners), len(candidates)):
+            scores_per_request.append([
+                PartitionerScore(
+                    partitioner=flat_partitioners[base + offset],
+                    predicted_partitioning_seconds=float(
+                        partitioning_seconds[base + offset]),
+                    predicted_processing_seconds=float(
+                        processing_seconds[base + offset]),
+                    predicted_quality=quality_dicts[base + offset])
+                for offset in range(len(candidates))])
+        return scores_per_request
+
+    def select_batch(self, requests: Sequence[SelectionRequest]
+                     ) -> List[SelectionResult]:
+        """Select partitioners for a batch of requests in one predictor pass."""
+        for request in requests:
+            OptimizationGoal.validate(request.goal)
+        scores_per_request = self.score_partitioners_batch(requests)
+        results = []
+        for request, scores in zip(requests, scores_per_request):
+            best = min(scores, key=lambda score: score.objective(request.goal))
+            results.append(SelectionResult(
+                selected=best.partitioner, goal=request.goal,
+                algorithm=request.algorithm,
+                num_partitions=request.num_partitions, scores=scores))
+        return results
+
     def score_partitioners(self, graph: Union[Graph, GraphProperties],
                            algorithm: str, num_partitions: int,
                            num_iterations: Optional[int] = None
                            ) -> List[PartitionerScore]:
         """Predict costs for every candidate partitioner."""
-        properties = self._resolve_properties(graph)
-        scores = []
-        for partitioner in self.partitioner_names:
-            quality = self.quality_predictor.predict(properties, partitioner,
-                                                     num_partitions)
-            partitioning_seconds = self.partitioning_time_predictor.predict_one(
-                properties, partitioner)
-            processing_seconds = self.processing_time_predictor.predict_total_seconds(
-                algorithm, properties, num_partitions, quality.as_dict(),
-                num_iterations=num_iterations)
-            scores.append(PartitionerScore(
-                partitioner=partitioner,
-                predicted_partitioning_seconds=partitioning_seconds,
-                predicted_processing_seconds=processing_seconds,
-                predicted_quality=quality.as_dict()))
-        return scores
+        return self.score_partitioners_batch([SelectionRequest(
+            graph=graph, algorithm=algorithm, num_partitions=num_partitions,
+            num_iterations=num_iterations)])[0]
 
     def select(self, graph: Union[Graph, GraphProperties], algorithm: str,
                num_partitions: int, goal: str = OptimizationGoal.END_TO_END,
                num_iterations: Optional[int] = None) -> SelectionResult:
         """Select the partitioner minimising the chosen objective."""
-        OptimizationGoal.validate(goal)
-        scores = self.score_partitioners(graph, algorithm, num_partitions,
-                                         num_iterations=num_iterations)
-        best = min(scores, key=lambda score: score.objective(goal))
-        return SelectionResult(selected=best.partitioner, goal=goal,
-                               algorithm=algorithm,
-                               num_partitions=num_partitions, scores=scores)
+        return self.select_batch([SelectionRequest(
+            graph=graph, algorithm=algorithm, num_partitions=num_partitions,
+            goal=goal, num_iterations=num_iterations)])[0]

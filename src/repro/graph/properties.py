@@ -12,7 +12,7 @@ The properties computed here form the feature sets of the EASE predictors
 
 from __future__ import annotations
 
-from dataclasses import dataclass, asdict
+from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
@@ -130,7 +130,38 @@ class GraphProperties:
 
     def as_dict(self) -> Dict[str, float]:
         """Return the properties as a plain dictionary."""
-        return asdict(self)
+        # Explicit construction: dataclasses.asdict pays deepcopy machinery,
+        # and this runs per feature row on the serving hot path.
+        return {
+            "num_edges": self.num_edges,
+            "num_vertices": self.num_vertices,
+            "mean_degree": self.mean_degree,
+            "density": self.density,
+            "in_degree_skewness": self.in_degree_skewness,
+            "out_degree_skewness": self.out_degree_skewness,
+            "mean_triangles": self.mean_triangles,
+            "mean_local_clustering": self.mean_local_clustering,
+        }
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, float]) -> "GraphProperties":
+        """Rebuild properties from :meth:`as_dict` output (e.g. JSON payloads).
+
+        Extra keys are rejected so malformed serving requests fail loudly
+        instead of silently dropping features.
+        """
+        field_names = {name for name in cls.__dataclass_fields__}
+        unknown = set(values) - field_names
+        if unknown:
+            raise ValueError(f"unknown graph properties: {sorted(unknown)}")
+        missing = field_names - set(values)
+        if missing:
+            raise ValueError(f"missing graph properties: {sorted(missing)}")
+        return cls(num_edges=int(values["num_edges"]),
+                   num_vertices=int(values["num_vertices"]),
+                   **{name: float(values[name])
+                      for name in field_names
+                      if name not in ("num_edges", "num_vertices")})
 
     def simple(self) -> Dict[str, float]:
         """Simple feature set: graph size only."""

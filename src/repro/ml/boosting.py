@@ -14,7 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from .base import Regressor, check_2d, check_fitted
-from .tree import DecisionTreeRegressor
+from .tree import DecisionTreeRegressor, FlatTreeEnsemble
 
 __all__ = ["GradientBoostingRegressor"]
 
@@ -85,12 +85,25 @@ class GradientBoostingRegressor(Regressor):
         total = importances.sum()
         self.feature_importances_ = (importances / total if total > 0
                                      else importances)
+        self._flat = None
         return self
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_flat", None)
+        return state
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         check_fitted(self, "trees_")
         features = check_2d(features)
+        flat = getattr(self, "_flat", None)
+        if flat is None:
+            flat = self._flat = FlatTreeEnsemble(
+                [tree._root for tree in self.trees_])
+        per_tree = flat.predict_per_tree(features)
+        # Accumulate in tree order (not per_tree.sum) so predictions stay
+        # bit-identical to the historical one-tree-at-a-time loop.
         predictions = np.full(features.shape[0], self.initial_prediction_)
-        for tree in self.trees_:
-            predictions += self.learning_rate * tree.predict(features)
+        for tree_values in per_tree:
+            predictions += self.learning_rate * tree_values
         return predictions

@@ -9,13 +9,13 @@ quality predictions (Table VII).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .base import Regressor, check_2d, check_fitted
 
-__all__ = ["DecisionTreeRegressor"]
+__all__ = ["DecisionTreeRegressor", "FlatTreeEnsemble"]
 
 
 @dataclass
@@ -31,6 +31,71 @@ class _Node:
     @property
     def is_leaf(self) -> bool:
         return self.left is None
+
+
+class FlatTreeEnsemble:
+    """Array representation of fitted CART trees for vectorized prediction.
+
+    Node-object traversal costs a Python loop step per (tree, row, level);
+    with the tree ensembles of the EASE predictors that adds up to thousands
+    of interpreter steps per prediction, which dominates serving latency.
+    Packing all trees of an ensemble into flat arrays lets one
+    level-synchronous descent advance every (tree, row) pair per numpy
+    operation: rows take exactly the same left/right decisions as the object
+    walk, so predictions are bit-identical, just batched.
+    """
+
+    def __init__(self, roots: Sequence["_Node"]) -> None:
+        feature: List[int] = []
+        threshold: List[float] = []
+        left: List[int] = []
+        right: List[int] = []
+        value: List[float] = []
+        tree_roots: List[int] = []
+        max_depth = 0
+        for root in roots:
+            tree_roots.append(len(feature))
+            stack = [(root, -1, False, 0)]
+            while stack:
+                node, parent, is_left, depth = stack.pop()
+                index = len(feature)
+                if parent >= 0:
+                    (left if is_left else right)[parent] = index
+                feature.append(0 if node.is_leaf else node.feature)
+                threshold.append(node.threshold)
+                value.append(node.prediction)
+                # Leaves self-loop: descending past a leaf stays on the leaf,
+                # so the descent needs no per-row "done" bookkeeping.
+                left.append(index)
+                right.append(index)
+                if not node.is_leaf:
+                    max_depth = max(max_depth, depth + 1)
+                    stack.append((node.right, index, False, depth + 1))
+                    stack.append((node.left, index, True, depth + 1))
+        self.feature = np.asarray(feature, dtype=np.intp)
+        self.threshold = np.asarray(threshold, dtype=np.float64)
+        self.left = np.asarray(left, dtype=np.intp)
+        self.right = np.asarray(right, dtype=np.intp)
+        self.value = np.asarray(value, dtype=np.float64)
+        self.roots = np.asarray(tree_roots, dtype=np.intp)
+        self.max_depth = max_depth
+
+    def predict_per_tree(self, features: np.ndarray) -> np.ndarray:
+        """Leaf predictions of every tree: shape ``(num_trees, num_rows)``.
+
+        Level-synchronous descent: after ``max_depth`` steps every (tree,
+        row) pair sits on its leaf (leaves self-loop, and their comparison
+        reads the stored dummy feature 0 / threshold 0.0 whose outcome is
+        irrelevant because both children are the leaf itself).
+        """
+        num_rows = features.shape[0]
+        index = np.repeat(self.roots, num_rows)
+        rows = np.tile(np.arange(num_rows), len(self.roots))
+        for _ in range(self.max_depth):
+            go_left = (features[rows, self.feature[index]]
+                       <= self.threshold[index])
+            index = np.where(go_left, self.left[index], self.right[index])
+        return self.value[index].reshape(len(self.roots), num_rows)
 
 
 class DecisionTreeRegressor(Regressor):
@@ -87,6 +152,7 @@ class DecisionTreeRegressor(Regressor):
         self._features_per_split = self._resolve_max_features(self._num_features)
         self._total_samples = features.shape[0]
         self._root = self._build(features, targets, depth=0)
+        self._flat = None
         total = self._importance_accumulator.sum()
         if total > 0:
             self.feature_importances_ = self._importance_accumulator / total
@@ -168,22 +234,29 @@ class DecisionTreeRegressor(Regressor):
         return best
 
     # ------------------------------------------------------------------ #
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def __getstate__(self):
+        # The flattened prediction cache is derived data; dropping it keeps
+        # saved bundles small and their content hash independent of whether
+        # the model predicted before being saved.
+        state = self.__dict__.copy()
+        state.pop("_flat", None)
+        return state
+
+    def flattened(self) -> FlatTreeEnsemble:
+        """Flat-array view of this tree (built lazily, cached until refit)."""
         check_fitted(self, "_root")
+        flat = getattr(self, "_flat", None)
+        if flat is None:
+            flat = self._flat = FlatTreeEnsemble([self._root])
+        return flat
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
         features = check_2d(features)
+        flat = self.flattened()
         if features.shape[1] != self._num_features:
             raise ValueError("feature dimensionality changed between fit and "
                              "predict")
-        predictions = np.empty(features.shape[0])
-        for row in range(features.shape[0]):
-            node = self._root
-            while not node.is_leaf:
-                if features[row, node.feature] <= node.threshold:
-                    node = node.left
-                else:
-                    node = node.right
-            predictions[row] = node.prediction
-        return predictions
+        return flat.predict_per_tree(features)[0]
 
     def depth(self) -> int:
         """Depth of the fitted tree (0 for a single leaf)."""

@@ -12,7 +12,7 @@ EASE's PartitioningQualityPredictor:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, asdict
+from dataclasses import dataclass
 from typing import Dict, Sequence
 
 import numpy as np
@@ -92,7 +92,15 @@ class PartitionQualityMetrics:
 
     def as_dict(self) -> Dict[str, float]:
         """Return the metrics as a plain dictionary keyed by metric name."""
-        return asdict(self)
+        # Explicit construction: dataclasses.asdict pays deepcopy machinery,
+        # and this runs per candidate row on the serving hot path.
+        return {
+            "replication_factor": self.replication_factor,
+            "edge_balance": self.edge_balance,
+            "vertex_balance": self.vertex_balance,
+            "source_balance": self.source_balance,
+            "destination_balance": self.destination_balance,
+        }
 
 
 def compute_quality_metrics(partition: EdgePartition) -> PartitionQualityMetrics:

@@ -1,0 +1,29 @@
+"""Online selection service: the serving side of EASE.
+
+Once the predictors are trained, partitioner selection is a sub-second model
+query — this package keeps trained EASE bundles resident, versioned and
+answerable at high request rates:
+
+* :mod:`repro.serving.registry` — content-hashed, versioned model bundles on
+  disk with tags and training provenance;
+* :mod:`repro.serving.service` — the in-process service core: property
+  memoization and a micro-batching queue that coalesces concurrent requests
+  into single vectorized predictor calls;
+* :mod:`repro.serving.http` — a stdlib JSON/HTTP frontend;
+* :mod:`repro.serving.client` — a thin client for that frontend.
+"""
+
+from .registry import ModelRegistry, ModelVersion, dataset_fingerprint
+from .service import SelectionService, ServiceStats
+from .http import SelectionHTTPServer
+from .client import SelectionClient
+
+__all__ = [
+    "ModelRegistry",
+    "ModelVersion",
+    "dataset_fingerprint",
+    "SelectionService",
+    "ServiceStats",
+    "SelectionHTTPServer",
+    "SelectionClient",
+]

@@ -1,0 +1,96 @@
+"""Thin stdlib client for the selection server (:mod:`repro.serving.http`).
+
+Returns the decoded JSON payloads of the endpoints; HTTP error responses
+raise :class:`SelectionServiceError` carrying the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Union
+
+from ..graph import Graph, GraphProperties
+
+__all__ = ["SelectionClient", "SelectionServiceError"]
+
+
+class SelectionServiceError(RuntimeError):
+    """An HTTP error response from the selection server."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _graph_payload(graph: Union[Graph, GraphProperties, Dict]) -> Dict:
+    if isinstance(graph, GraphProperties):
+        return {"properties": graph.as_dict()}
+    if isinstance(graph, Graph):
+        return {"graph": {"src": graph.src.tolist(),
+                          "dst": graph.dst.tolist(),
+                          "num_vertices": graph.num_vertices,
+                          "name": graph.name}}
+    if isinstance(graph, dict):  # pre-built "graph"/"properties" fragment
+        # Copy so the request fields added by select()/predict() never leak
+        # into (and persist on) the caller's fragment.
+        return dict(graph)
+    raise TypeError("graph must be a Graph, GraphProperties or payload dict")
+
+
+class SelectionClient:
+    """Client for one selection server, e.g. ``SelectionClient("http://host:8080")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except json.JSONDecodeError:
+                message = body
+            raise SelectionServiceError(error.code, message) from error
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict:
+        return self._request("/healthz")
+
+    def models(self) -> Dict:
+        return self._request("/v1/models")
+
+    def select(self, graph: Union[Graph, GraphProperties, Dict],
+               algorithm: str, num_partitions: int,
+               goal: str = "end_to_end",
+               num_iterations: Optional[int] = None) -> Dict:
+        payload = _graph_payload(graph)
+        payload.update({"algorithm": algorithm,
+                        "num_partitions": num_partitions, "goal": goal})
+        if num_iterations is not None:
+            payload["num_iterations"] = num_iterations
+        return self._request("/v1/select", payload)
+
+    def predict(self, graph: Union[Graph, GraphProperties, Dict],
+                algorithm: str, num_partitions: int,
+                num_iterations: Optional[int] = None) -> Dict:
+        payload = _graph_payload(graph)
+        payload.update({"algorithm": algorithm,
+                        "num_partitions": num_partitions})
+        if num_iterations is not None:
+            payload["num_iterations"] = num_iterations
+        return self._request("/v1/predict", payload)

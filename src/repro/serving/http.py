@@ -1,0 +1,274 @@
+"""Stdlib HTTP/JSON frontend of the selection service.
+
+Endpoints (all JSON):
+
+``GET /healthz``
+    Liveness: model identity, uptime, batching state, request stats.
+``GET /v1/models``
+    Registry contents (when serving from a registry) or the loaded bundle.
+``POST /v1/select``
+    Body: ``{"graph": {"src": [...], "dst": [...], "num_vertices": n}`` or
+    ``"properties": {...}, "algorithm": "pagerank", "num_partitions": 8,
+    "goal": "end_to_end", "num_iterations": 10}``.
+    Response: the selected partitioner plus the full per-candidate scores.
+``POST /v1/predict``
+    Same body (``goal`` ignored); response: per-candidate predictions only.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, which is exactly the concurrency the service's micro-batcher
+coalesces.  No dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..graph import Graph, GraphProperties
+from ..ease.selector import OptimizationGoal, PartitionerScore, SelectionResult
+from .registry import ModelRegistry
+from .service import SelectionService
+
+__all__ = ["SelectionHTTPServer"]
+
+#: Request payloads above this size are rejected (a graph of ~2M edges as
+#: JSON; callers with bigger graphs should send precomputed properties).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class BadRequest(ValueError):
+    """Raised for malformed request payloads (mapped to HTTP 400)."""
+
+
+def _score_payload(score: PartitionerScore) -> Dict:
+    return {
+        "partitioner": score.partitioner,
+        "predicted_partitioning_seconds": score.predicted_partitioning_seconds,
+        "predicted_processing_seconds": score.predicted_processing_seconds,
+        "predicted_end_to_end_seconds": score.predicted_end_to_end_seconds,
+        "predicted_quality": score.predicted_quality,
+    }
+
+
+def _selection_payload(result: SelectionResult) -> Dict:
+    return {
+        "selected": result.selected,
+        "goal": result.goal,
+        "algorithm": result.algorithm,
+        "num_partitions": result.num_partitions,
+        "ranking": [score.partitioner for score in result.ranking()],
+        "scores": [_score_payload(score) for score in result.scores],
+    }
+
+
+def parse_graph_payload(payload: Dict) -> Union[Graph, GraphProperties]:
+    """Extract the graph (or precomputed properties) of a request body."""
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    has_graph = "graph" in payload
+    has_properties = "properties" in payload
+    if has_graph == has_properties:
+        raise BadRequest("exactly one of 'graph' and 'properties' is required")
+    if has_properties:
+        if not isinstance(payload["properties"], dict):
+            raise BadRequest("'properties' must be an object")
+        try:
+            return GraphProperties.from_dict(payload["properties"])
+        except (TypeError, ValueError) as error:
+            raise BadRequest(f"invalid properties: {error}") from error
+    graph = payload["graph"]
+    if not isinstance(graph, dict) or "src" not in graph or "dst" not in graph:
+        raise BadRequest("'graph' must be an object with 'src' and 'dst' "
+                         "edge arrays")
+    try:
+        return Graph(np.asarray(graph["src"], dtype=np.int64),
+                     np.asarray(graph["dst"], dtype=np.int64),
+                     num_vertices=graph.get("num_vertices"),
+                     name=str(graph.get("name", "request-graph")))
+    except (TypeError, ValueError) as error:
+        raise BadRequest(f"invalid graph: {error}") from error
+
+
+def parse_job_payload(payload: Dict, require_goal: bool) -> Dict:
+    """Validate and normalise a select/predict request body."""
+    graph = parse_graph_payload(payload)
+    algorithm = payload.get("algorithm")
+    if not isinstance(algorithm, str) or not algorithm:
+        raise BadRequest("'algorithm' is required")
+    num_partitions = payload.get("num_partitions")
+    if not isinstance(num_partitions, int) or isinstance(num_partitions, bool) \
+            or num_partitions < 1:
+        raise BadRequest("'num_partitions' must be a positive integer")
+    goal = payload.get("goal", OptimizationGoal.END_TO_END)
+    if require_goal:
+        try:
+            OptimizationGoal.validate(goal)
+        except ValueError as error:
+            raise BadRequest(str(error)) from error
+    num_iterations = payload.get("num_iterations")
+    if num_iterations is not None and (
+            not isinstance(num_iterations, int)
+            or isinstance(num_iterations, bool) or num_iterations < 1):
+        raise BadRequest("'num_iterations' must be a positive integer")
+    return {"graph": graph, "algorithm": algorithm,
+            "num_partitions": num_partitions, "goal": goal,
+            "num_iterations": num_iterations}
+
+
+class _SelectionRequestHandler(BaseHTTPRequestHandler):
+    server: "SelectionHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_json(self) -> Dict:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise BadRequest("Content-Length header is required")
+        try:
+            length = int(length)
+        except ValueError as error:
+            raise BadRequest("invalid Content-Length") from error
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest(f"request body is not valid JSON: {error}") \
+                from error
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, self.server.service.health())
+        elif self.path == "/v1/models":
+            self._send_json(200, self.server.models_payload())
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path not in ("/v1/select", "/v1/predict"):
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            payload = self._read_json()
+        except BadRequest as error:
+            # The body was not (fully) read, so the bytes left on the wire
+            # would desync the next request of a keep-alive connection.
+            self.close_connection = True
+            self._send_error_json(400, str(error))
+            return
+        try:
+            job = parse_job_payload(payload,
+                                    require_goal=self.path == "/v1/select")
+        except BadRequest as error:
+            self._send_error_json(400, str(error))
+            return
+        service = self.server.service
+        # Only the service call sits in the try: a failed 200 write must
+        # propagate to the handler base class, not trigger a second (500)
+        # response on the same keep-alive stream.
+        try:
+            if self.path == "/v1/select":
+                result = service.select(
+                    job["graph"], job["algorithm"], job["num_partitions"],
+                    goal=job["goal"], num_iterations=job["num_iterations"])
+                payload = _selection_payload(result)
+            else:
+                scores = service.predict(
+                    job["graph"], job["algorithm"], job["num_partitions"],
+                    num_iterations=job["num_iterations"])
+                payload = {
+                    "algorithm": job["algorithm"],
+                    "num_partitions": job["num_partitions"],
+                    "predictions": [_score_payload(s) for s in scores]}
+        except ValueError as error:
+            # e.g. an algorithm without a trained model
+            self._send_error_json(400, str(error))
+            return
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {error}")
+            return
+        self._send_json(200, payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+
+class SelectionHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server wrapping a :class:`SelectionService`.
+
+    Parameters
+    ----------
+    service:
+        The service to expose.  Its micro-batching worker is started by
+        :meth:`serve_forever` (and by entering the context manager).
+    registry:
+        Optional registry backing ``/v1/models``; without one the endpoint
+        describes only the loaded model.
+    host, port:
+        Bind address; port ``0`` picks a free port (see :attr:`url`).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, service: SelectionService,
+                 registry: Optional[ModelRegistry] = None,
+                 host: str = "127.0.0.1", port: int = 8080,
+                 verbose: bool = False) -> None:
+        super().__init__((host, port), _SelectionRequestHandler)
+        self.service = service
+        self.registry = registry
+        self.verbose = verbose
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def models_payload(self) -> Dict:
+        loaded = {key: self.service.model_info.get(key)
+                  for key in ("name", "version", "tags", "source")}
+        if self.registry is None:
+            return {"loaded": loaded, "models": []}
+        models: List[Dict] = []
+        for entry in self.registry.list_models():
+            models.append({"name": entry.name, "version": entry.version,
+                           "tags": entry.tags, "manifest": entry.manifest})
+        return {"loaded": loaded, "models": models}
+
+    # ------------------------------------------------------------------ #
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self.service.start()
+        try:
+            super().serve_forever(poll_interval=poll_interval)
+        finally:
+            self.service.stop()
+
+    def __enter__(self) -> "SelectionHTTPServer":
+        self.service.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.server_close()
+        self.service.stop()

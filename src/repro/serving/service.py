@@ -1,0 +1,341 @@
+"""SelectionService: the in-process core of the EASE serving subsystem.
+
+The service keeps one trained EASE system resident and answers selection /
+prediction requests through a single code path shared by the CLI, the HTTP
+frontend and library callers.  Two mechanisms make it fast under concurrent
+load:
+
+* **Property memoization** — ``GraphProperties`` are cached by graph content
+  fingerprint, so repeated queries about the same graph skip the (sampled)
+  triangle counting entirely.  Callers holding precomputed properties can
+  submit those directly and skip graph shipping altogether.
+* **Micro-batching** — concurrent requests are coalesced by a background
+  worker into one :meth:`PartitionerSelector.select_batch` call, which scores
+  the whole (requests x candidates) grid with a single vectorized call per
+  underlying predictor model instead of one call per request per candidate.
+
+Batched and sequential answers are identical: both run the same batched
+selector path, only the batch size differs.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..graph import Graph, GraphProperties, compute_properties
+from ..ease.pipeline import EASE
+from ..ease.selector import (
+    OptimizationGoal,
+    PartitionerScore,
+    SelectionRequest,
+    SelectionResult,
+)
+from ..runtime.jobs import graph_fingerprint
+from .registry import ModelRegistry, ModelVersion
+
+__all__ = ["SelectionService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Request/batch accounting of one service instance."""
+
+    requests: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch_size: int = 0
+    property_cache_hits: int = 0
+    property_cache_misses: int = 0
+
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"requests": self.requests, "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "max_batch_size": self.max_batch_size,
+                "mean_batch_size": self.mean_batch_size(),
+                "property_cache_hits": self.property_cache_hits,
+                "property_cache_misses": self.property_cache_misses}
+
+
+@dataclass
+class _Pending:
+    request: SelectionRequest
+    future: Future = field(default_factory=Future)
+
+
+_STOP = object()
+
+
+class SelectionService:
+    """Holds a loaded EASE system and serves selection requests.
+
+    Parameters
+    ----------
+    system:
+        A trained :class:`~repro.ease.pipeline.EASE` instance.
+    model_info:
+        Optional metadata dictionary describing the loaded model (filled
+        automatically by :meth:`from_registry` / :meth:`from_bundle`).
+    max_batch_size:
+        Upper bound of one coalesced micro-batch.
+    batch_wait_seconds:
+        How long the batching worker waits for additional requests after the
+        first one arrives.  Zero still batches whatever is already queued.
+    property_cache_size:
+        Number of memoized ``GraphProperties`` entries (LRU by fingerprint).
+
+    The micro-batcher only runs between :meth:`start` and :meth:`stop` (or
+    inside a ``with`` block); an unstarted service executes every request
+    inline through the same batched code path, which is what the one-shot
+    CLI uses.
+    """
+
+    def __init__(self, system: EASE,
+                 model_info: Optional[Dict] = None,
+                 max_batch_size: int = 64,
+                 batch_wait_seconds: float = 0.002,
+                 property_cache_size: int = 1024) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if batch_wait_seconds < 0:
+            raise ValueError("batch_wait_seconds must be >= 0")
+        self.system = system
+        self.model_info = dict(model_info or {})
+        self.max_batch_size = max_batch_size
+        self.batch_wait_seconds = batch_wait_seconds
+        self.property_cache_size = property_cache_size
+        self.stats = ServiceStats()
+        self.started_at = time.time()
+        self._properties: "OrderedDict[str, GraphProperties]" = OrderedDict()
+        self._lock = threading.Lock()
+        # Serialises start/stop against the running-check-plus-enqueue in
+        # submit(): without it a request could be enqueued just after stop()
+        # drained the queue and its future would never resolve.
+        self._lifecycle_lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction from stored models
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_registry(cls, registry: Union[ModelRegistry, str], name: str,
+                      ref: Optional[str] = None, **kwargs) -> "SelectionService":
+        """Serve a registry version (tag, version id or prefix; see
+        :meth:`ModelRegistry.resolve`)."""
+        if isinstance(registry, str):
+            registry = ModelRegistry(registry)
+        entry = registry.resolve(name, ref)
+        system = registry.load(name, entry.version)
+        info = {"name": entry.name, "version": entry.version,
+                "tags": entry.tags, "source": "registry",
+                "manifest": entry.manifest}
+        return cls(system, model_info=info, **kwargs)
+
+    @classmethod
+    def from_bundle(cls, path: str, **kwargs) -> "SelectionService":
+        """Serve a plain ``save_ease`` bundle file."""
+        from ..ease.persistence import load_ease
+
+        system = load_ease(path)
+        info = {"name": path, "version": None, "tags": [], "source": "bundle"}
+        return cls(system, model_info=info, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    def start(self) -> "SelectionService":
+        """Start the micro-batching worker (idempotent)."""
+        with self._lifecycle_lock:
+            if not self.running:
+                self._worker = threading.Thread(target=self._batch_loop,
+                                                name="selection-batcher",
+                                                daemon=True)
+                self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the worker after draining queued requests."""
+        with self._lifecycle_lock:
+            if self.running:
+                self._queue.put(_STOP)
+                self._worker.join()
+            self._worker = None
+            # Anything still queued was enqueued before the sentinel but
+            # after the worker stopped collecting; answer it inline so no
+            # future ever hangs.
+            leftovers = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _STOP:
+                    leftovers.append(item)
+            if leftovers:
+                self._execute(leftovers)
+
+    def __enter__(self) -> "SelectionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Property memoization
+    # ------------------------------------------------------------------ #
+    def resolve_properties(self, graph: Union[Graph, GraphProperties]
+                           ) -> GraphProperties:
+        """Graph properties memoized by content fingerprint (LRU)."""
+        if isinstance(graph, GraphProperties):
+            return graph
+        fingerprint = graph_fingerprint(graph)
+        with self._lock:
+            cached = self._properties.get(fingerprint)
+            if cached is not None:
+                self._properties.move_to_end(fingerprint)
+                self.stats.property_cache_hits += 1
+                return cached
+            self.stats.property_cache_misses += 1
+        # Same settings as PartitionerSelector._resolve_properties, so cached
+        # and uncached requests answer identically.
+        properties = compute_properties(graph, exact_triangles=False)
+        with self._lock:
+            self._properties[fingerprint] = properties
+            self._properties.move_to_end(fingerprint)
+            while len(self._properties) > self.property_cache_size:
+                self._properties.popitem(last=False)
+        return properties
+
+    # ------------------------------------------------------------------ #
+    # Request paths
+    # ------------------------------------------------------------------ #
+    def _validate(self, request: SelectionRequest) -> SelectionRequest:
+        OptimizationGoal.validate(request.goal)
+        algorithms = self.system.processing_time_predictor.algorithms
+        if request.algorithm not in algorithms:
+            raise ValueError(f"no trained model for algorithm "
+                             f"{request.algorithm!r}; available: "
+                             f"{list(algorithms)}")
+        if request.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        return request
+
+    def submit(self, request: SelectionRequest) -> "Future[SelectionResult]":
+        """Enqueue one request; returns a future with the SelectionResult.
+
+        Invalid requests fail fast here (before batching) so one malformed
+        request can never poison a coalesced batch.
+        """
+        self._validate(request)
+        request = SelectionRequest(
+            graph=self.resolve_properties(request.graph),
+            algorithm=request.algorithm,
+            num_partitions=request.num_partitions,
+            goal=request.goal,
+            num_iterations=request.num_iterations)
+        pending = _Pending(request)
+        with self._lifecycle_lock:
+            running = self.running
+            if running:
+                self._queue.put(pending)
+        if not running:
+            self._execute([pending])
+        return pending.future
+
+    def select(self, graph: Union[Graph, GraphProperties], algorithm: str,
+               num_partitions: int, goal: str = OptimizationGoal.END_TO_END,
+               num_iterations: Optional[int] = None,
+               timeout: Optional[float] = None) -> SelectionResult:
+        """Select a partitioner (blocking; coalesced when the worker runs)."""
+        return self.submit(SelectionRequest(
+            graph=graph, algorithm=algorithm, num_partitions=num_partitions,
+            goal=goal, num_iterations=num_iterations)).result(timeout=timeout)
+
+    def predict(self, graph: Union[Graph, GraphProperties], algorithm: str,
+                num_partitions: int, num_iterations: Optional[int] = None,
+                timeout: Optional[float] = None) -> List[PartitionerScore]:
+        """Per-candidate cost predictions (same batched path as select)."""
+        result = self.select(graph, algorithm, num_partitions,
+                             num_iterations=num_iterations, timeout=timeout)
+        return result.scores
+
+    # ------------------------------------------------------------------ #
+    # Micro-batching worker
+    # ------------------------------------------------------------------ #
+    def _batch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            deadline = time.monotonic() + self.batch_wait_seconds
+            # Stop collecting once arrivals go quiet: concurrent callers
+            # enqueue within a fraction of the hard deadline of each other,
+            # and waiting out the full window after the burst would only add
+            # latency to every request in the batch.
+            quiet_window = self.batch_wait_seconds / 4.0
+            stop = False
+            while len(batch) < self.max_batch_size:
+                now = time.monotonic()
+                remaining = min(deadline - now, quiet_window)
+                try:
+                    if remaining > 0:
+                        item = self._queue.get(timeout=remaining)
+                    else:
+                        item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stop = True
+                    break
+                batch.append(item)
+            self._execute(batch)
+            if stop:
+                return
+
+    def _execute(self, batch: List[_Pending]) -> None:
+        with self._lock:
+            self.stats.requests += len(batch)
+            self.stats.batches += 1
+            self.stats.batched_requests += len(batch)
+            self.stats.max_batch_size = max(self.stats.max_batch_size,
+                                            len(batch))
+        try:
+            results = self.system.selector.select_batch(
+                [pending.request for pending in batch])
+        except BaseException as error:  # pragma: no cover - defensive
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
+            return
+        for pending, result in zip(batch, results):
+            pending.future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict:
+        """Liveness payload of the ``/healthz`` endpoint."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "batching": self.running,
+            "model": {key: self.model_info.get(key)
+                      for key in ("name", "version", "tags", "source")},
+            "algorithms": list(self.system.processing_time_predictor.algorithms),
+            "partitioners": list(self.system.partitioner_names),
+            "stats": self.stats.as_dict(),
+        }
