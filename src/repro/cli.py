@@ -25,6 +25,16 @@ Two support the profiling runtime:
     Shrink a content-addressed artifact cache to a size bound (LRU order)
     and report the reclaimed bytes.
 
+One exposes the property engine:
+
+``properties``
+    Extract the :class:`GraphProperties` of a directory of graphs in one
+    batched property-engine pass and write one ``<name>.properties.json``
+    per graph — the precomputed-properties payload accepted by ``select
+    --properties`` and the HTTP ``/v1/select`` endpoint.  With
+    ``--cache-dir`` the extraction is memoized through the artifact cache
+    shared with ``profile``.
+
 Two expose the serving subsystem (``docs/SERVING.md``):
 
 ``models``
@@ -185,6 +195,33 @@ def _command_cache_gc(args: argparse.Namespace) -> int:
           f"({report['removed_files']} artifacts); "
           f"{report['remaining_bytes']} bytes in "
           f"{report['remaining_files']} artifacts remain")
+    return 0
+
+
+def _command_properties(args: argparse.Namespace) -> int:
+    import json
+
+    from .graph import compute_properties_batch
+
+    graphs = _load_graph_directory(args.graphs)
+    store = None
+    if args.cache_dir:
+        from .runtime import ArtifactStore
+
+        store = ArtifactStore(args.cache_dir)
+    properties = compute_properties_batch(
+        graphs, exact_triangles=args.exact_triangles, seed=args.seed,
+        use_engine=not args.no_engine, store=store)
+    os.makedirs(args.output, exist_ok=True)
+    for graph, props in zip(graphs, properties):
+        path = os.path.join(args.output, f"{graph.name}.properties.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(props.as_dict(), handle, indent=2, sort_keys=True)
+    print(f"extracted properties of {len(graphs)} graphs "
+          f"({len(set(id(p) for p in properties))} distinct contents) "
+          f"-> {args.output}")
+    if store is not None:
+        print(f"artifact cache: {store.hits} hits, {store.misses} misses")
     return 0
 
 
@@ -421,6 +458,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="target size in bytes (0 clears the cache "
                                "entirely)")
     cache_gc.set_defaults(handler=_command_cache_gc)
+
+    properties = subparsers.add_parser(
+        "properties", help="extract graph properties in one batched "
+                           "property-engine pass")
+    properties.add_argument("--graphs", required=True,
+                            help="directory of .npz / edge-list graphs")
+    properties.add_argument("--output", required=True,
+                            help="directory for the <name>.properties.json "
+                                 "files (created if missing)")
+    properties.add_argument("--exact-triangles", action="store_true",
+                            help="count triangles exactly instead of the "
+                                 "sampled estimate used beyond the sample "
+                                 "size")
+    properties.add_argument("--seed", type=int, default=0,
+                            help="seed of the sampled triangle estimator")
+    properties.add_argument("--cache-dir", default=None,
+                            help="content-addressed artifact cache shared "
+                                 "with profile runs; already-extracted "
+                                 "graphs are restored instead of recomputed")
+    properties.add_argument("--no-engine", action="store_true",
+                            help="use the seed per-vertex loops instead of "
+                                 "the vectorized engine (results are "
+                                 "identical; for comparison only)")
+    properties.set_defaults(handler=_command_properties)
 
     train = subparsers.add_parser("train", help="train EASE from a profile")
     train.add_argument("--profile", required=True,

@@ -21,7 +21,12 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from ..graph import Graph, GraphProperties, compute_properties
+from ..graph import (
+    Graph,
+    GraphProperties,
+    compute_properties,
+    compute_properties_batch,
+)
 from ..partitioning import ALL_PARTITIONER_NAMES
 from ..processing import ALL_ALGORITHM_NAMES, ClusterSpec
 from ..runtime.executor import (
@@ -128,10 +133,37 @@ class GraphProfiler:
         self.last_run_stats: Optional[ProfileRunStats] = None
 
     # ------------------------------------------------------------------ #
+    def _property_store(self):
+        """Artifact store over ``cache_dir`` (``None`` without one).
+
+        Property artifacts share their key with the runtime's
+        ``PropertiesTask``, so properties extracted here are found by later
+        profiling runs and vice versa.
+        """
+        if self.cache_dir is None:
+            return None
+        from ..runtime.artifacts import ArtifactStore
+
+        return ArtifactStore(self.cache_dir)
+
     def graph_properties(self, graph: Graph) -> GraphProperties:
         """Graph properties with the profiler's triangle-counting settings."""
         return compute_properties(graph, exact_triangles=self.exact_triangles,
-                                  seed=self.seed)
+                                  seed=self.seed,
+                                  store=self._property_store())
+
+    def graph_properties_batch(self, graphs: Sequence[Graph]
+                               ) -> List[GraphProperties]:
+        """Properties of a corpus in one batched property-engine pass.
+
+        Content duplicates are computed once, and with a configured
+        ``cache_dir`` graphs already profiled (``--extend`` runs,
+        re-profiles) restore from the artifact cache instead of recomputing.
+        """
+        return compute_properties_batch(graphs,
+                                        exact_triangles=self.exact_triangles,
+                                        seed=self.seed,
+                                        store=self._property_store())
 
     def _partitioning_seconds(self, graph: Graph, partitioner_name: str,
                               num_partitions: int) -> float:

@@ -10,12 +10,31 @@ partitioners and the processing engine.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Graph", "CSRAdjacency"]
+__all__ = ["Graph", "CSRAdjacency", "graph_fingerprint"]
+
+
+def graph_fingerprint(graph: "Graph") -> str:
+    """Content fingerprint of a graph (independent of its name/type labels).
+
+    Two graphs with identical vertex counts and edge arrays share all
+    content-addressed artifacts (partitions, properties, quality metrics,
+    processing results).  Lives in the graph module so the property layer can
+    memoize by content without depending on the runtime; re-exported by
+    :mod:`repro.runtime.jobs`, whose artifact keys build on it.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"graph-v1:")
+    digest.update(str(graph.num_vertices).encode("ascii"))
+    digest.update(b":")
+    digest.update(np.ascontiguousarray(graph.src, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.dst, dtype=np.int64).tobytes())
+    return digest.hexdigest()[:20]
 
 
 @dataclass
@@ -99,6 +118,7 @@ class Graph:
         self._out_adj: Optional[CSRAdjacency] = None
         self._in_adj: Optional[CSRAdjacency] = None
         self._undirected_adj: Optional[CSRAdjacency] = None
+        self._undirected_simple_adj: Optional[CSRAdjacency] = None
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -170,6 +190,40 @@ class Graph:
             adj.edge_ids = adj.edge_ids % self.num_edges
             self._undirected_adj = adj
         return self._undirected_adj
+
+    def undirected_simple_csr(self) -> CSRAdjacency:
+        """CSR adjacency of the *simple* undirected view: per-vertex neighbour
+        lists are sorted ascending, deduplicated, and free of self loops.
+
+        This is the substrate of the vectorized property engine: triangle and
+        clustering computations are defined on the simple undirected graph,
+        and a sorted, duplicate-free neighbour array lets them run as
+        searchsorted joins over flat index arrays instead of per-vertex set
+        operations.  Built once with one ``np.unique`` pass over packed
+        ``(vertex, neighbour)`` keys and cached.
+
+        ``edge_ids`` is empty: deduplication makes the mapping back to
+        concrete directed edges ambiguous, and no consumer of this view
+        needs it.
+        """
+        if self._undirected_simple_adj is None:
+            mask = self.src != self.dst
+            keys = np.concatenate([self.src[mask], self.dst[mask]])
+            others = np.concatenate([self.dst[mask], self.src[mask]])
+            if keys.size:
+                # Packed (vertex, neighbour) keys sort by vertex then
+                # neighbour, so np.unique yields ready-made sorted CSR data.
+                packed = keys * np.int64(self.num_vertices) + others
+                packed = np.unique(packed)
+                keys = packed // self.num_vertices
+                others = packed % self.num_vertices
+            counts = np.bincount(keys, minlength=self.num_vertices)
+            indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._undirected_simple_adj = CSRAdjacency(
+                indptr=indptr, indices=others.astype(np.int64, copy=False),
+                edge_ids=np.empty(0, dtype=np.int64))
+        return self._undirected_simple_adj
 
     # ------------------------------------------------------------------ #
     # Transformations

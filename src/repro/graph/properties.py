@@ -8,26 +8,48 @@ The properties computed here form the feature sets of the EASE predictors
   out-degree distributions;
 * ``advanced`` — basic + mean number of triangles and mean local clustering
   coefficient.
+
+Triangle and clustering computation dispatches to the block-vectorized
+property engine (:mod:`repro.graph.property_engine`) by default; the seed
+per-vertex loops are kept behind ``use_engine=False`` and the two paths are
+asserted array-identical by the test suite, mirroring the partitioning
+kernels design.  :func:`compute_properties` shares the degree arrays and the
+cached simple CSR across all properties of one pass, accepts an optional
+artifact ``store`` for content-addressed memoization, and
+:func:`compute_properties_batch` extracts a whole corpus in one engine
+invocation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .graph import Graph
+from .graph import Graph, graph_fingerprint
+from .property_engine import (
+    local_clustering_from_triangles,
+    sampled_triangle_stats_engine,
+    triangle_counts_engine,
+)
 
 __all__ = [
     "GraphProperties",
     "compute_properties",
+    "compute_properties_batch",
+    "properties_artifact_key",
     "density",
     "mean_degree",
     "pearson_skewness",
     "triangle_counts",
     "local_clustering_coefficients",
 ]
+
+#: Sample size of the sampled triangle estimator.  Content-addressed property
+#: artifacts assume this default (their keys predate the parameter), so store
+#: memoization is bypassed for non-default sample sizes.
+DEFAULT_SAMPLE_SIZE = 2000
 
 
 def density(graph: Graph) -> float:
@@ -74,12 +96,16 @@ def _undirected_neighbor_sets(graph: Graph):
     return neighbor_sets
 
 
-def triangle_counts(graph: Graph) -> np.ndarray:
+def triangle_counts(graph: Graph, use_engine: bool = True) -> np.ndarray:
     """Number of triangles incident to each vertex (undirected view).
 
     A triangle is a set of three vertices that are pairwise connected,
-    ignoring edge direction and multiplicity.
+    ignoring edge direction and multiplicity.  ``use_engine=False`` runs the
+    seed per-vertex loop instead of the block-vectorized engine; both return
+    identical (exact, integer) counts.
     """
+    if use_engine:
+        return triangle_counts_engine(graph)
     neighbor_sets = _undirected_neighbor_sets(graph)
     counts = np.zeros(graph.num_vertices, dtype=np.int64)
     for v in range(graph.num_vertices):
@@ -98,14 +124,17 @@ def triangle_counts(graph: Graph) -> np.ndarray:
 
 
 def local_clustering_coefficients(graph: Graph,
-                                  triangles: np.ndarray = None) -> np.ndarray:
+                                  triangles: np.ndarray = None,
+                                  use_engine: bool = True) -> np.ndarray:
     """Local clustering coefficient ``t(v) / (0.5 * deg(v) * (deg(v) - 1))``.
 
     Degrees are undirected (unique neighbours); vertices with degree < 2 have
     a coefficient of zero.
     """
     if triangles is None:
-        triangles = triangle_counts(graph)
+        triangles = triangle_counts(graph, use_engine=use_engine)
+    if use_engine:
+        return local_clustering_from_triangles(graph, triangles)
     neighbor_sets = _undirected_neighbor_sets(graph)
     degs = np.array([len(n) for n in neighbor_sets], dtype=np.float64)
     denom = 0.5 * degs * (degs - 1.0)
@@ -186,10 +215,23 @@ class GraphProperties:
         return features
 
 
+def properties_artifact_key(fingerprint: str, exact_triangles: bool,
+                            seed: int):
+    """Content-addressed artifact key of one graph's properties.
+
+    Matches :attr:`repro.runtime.jobs.PropertiesJob.key`, so property
+    memoization through an :class:`~repro.runtime.artifacts.ArtifactStore`
+    shares artifacts with profiling runs (and vice versa): a ``--extend``
+    re-profile or a serving cold start finds the properties already on disk.
+    """
+    return ("properties", fingerprint, exact_triangles, seed)
+
+
 def compute_properties(graph: Graph, exact_triangles: bool = True,
-                       sample_size: int = 2000,
-                       seed: int = 0) -> GraphProperties:
-    """Compute all graph properties of Section II-B.
+                       sample_size: int = DEFAULT_SAMPLE_SIZE,
+                       seed: int = 0, use_engine: bool = True,
+                       store=None) -> GraphProperties:
+    """Compute all graph properties of Section II-B in a single pass.
 
     Parameters
     ----------
@@ -204,30 +246,96 @@ def compute_properties(graph: Graph, exact_triangles: bool = True,
         Number of vertices sampled when ``exact_triangles`` is False.
     seed:
         Random seed for the vertex sample.
+    use_engine:
+        Dispatch triangle/clustering work to the block-vectorized property
+        engine (default).  ``False`` runs the seed per-vertex loops; results
+        are identical either way (exact path: array-identical counts;
+        sampled path: bit-identical estimates for the same seed).
+    store:
+        Optional :class:`~repro.runtime.artifacts.ArtifactStore` (or any
+        object with ``get(key)``/``put(key, value)``).  Properties are
+        memoized under :func:`properties_artifact_key`, so repeated
+        profiling/serving runs over the same graph content skip the
+        computation entirely.  Bypassed for non-default ``sample_size``
+        (the artifact key does not carry it).
     """
+    key = None
+    if store is not None and sample_size == DEFAULT_SAMPLE_SIZE:
+        key = properties_artifact_key(graph_fingerprint(graph),
+                                      exact_triangles, seed)
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+
+    if graph.num_vertices == 0:
+        properties = GraphProperties(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        if key is not None:
+            store.put(key, properties)
+        return properties
+
     in_deg = graph.in_degrees()
     out_deg = graph.out_degrees()
-    if graph.num_vertices == 0:
-        return GraphProperties(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-
     if exact_triangles or graph.num_vertices <= sample_size:
-        triangles = triangle_counts(graph)
-        lcc = local_clustering_coefficients(graph, triangles)
+        triangles = triangle_counts(graph, use_engine=use_engine)
+        lcc = local_clustering_coefficients(graph, triangles,
+                                            use_engine=use_engine)
         mean_tri = float(triangles.mean())
         mean_lcc = float(lcc.mean())
+    elif use_engine:
+        mean_tri, mean_lcc = sampled_triangle_stats_engine(graph, sample_size,
+                                                           seed)
     else:
         mean_tri, mean_lcc = _sampled_triangle_stats(graph, sample_size, seed)
 
-    return GraphProperties(
-        num_edges=graph.num_edges,
-        num_vertices=graph.num_vertices,
-        mean_degree=mean_degree(graph),
-        density=density(graph),
+    num_vertices = graph.num_vertices
+    num_edges = graph.num_edges
+    properties = GraphProperties(
+        num_edges=num_edges,
+        num_vertices=num_vertices,
+        # Mean degree and density inline the module-level helpers so the
+        # size accessors are read once per pass.
+        mean_degree=2.0 * num_edges / num_vertices,
+        density=(num_edges / (num_vertices * (num_vertices - 1))
+                 if num_vertices >= 2 else 0.0),
         in_degree_skewness=pearson_skewness(in_deg),
         out_degree_skewness=pearson_skewness(out_deg),
         mean_triangles=mean_tri,
         mean_local_clustering=mean_lcc,
     )
+    if key is not None:
+        store.put(key, properties)
+    return properties
+
+
+def compute_properties_batch(graphs: Sequence[Graph],
+                             exact_triangles: bool = True,
+                             sample_size: int = DEFAULT_SAMPLE_SIZE,
+                             seed: int = 0, use_engine: bool = True,
+                             store=None) -> List[GraphProperties]:
+    """Properties of a whole corpus in one content-deduplicated call.
+
+    Graphs with identical content (same fingerprint) are computed once and
+    share the returned :class:`GraphProperties` instance — downstream,
+    :func:`repro.ease.features.graph_feature_matrix` collapses shared
+    instances into one row, so deduplication here compounds.  With a
+    ``store``, previously extracted graphs are restored instead of
+    recomputed.  Each distinct graph runs one vectorized engine pass (the
+    engine does not fuse work *across* graphs), and each entry equals the
+    corresponding single :func:`compute_properties` call exactly.
+    """
+    results: List[Optional[GraphProperties]] = [None] * len(graphs)
+    by_fingerprint: Dict[str, GraphProperties] = {}
+    for position, graph in enumerate(graphs):
+        fingerprint = graph_fingerprint(graph)
+        properties = by_fingerprint.get(fingerprint)
+        if properties is None:
+            properties = compute_properties(
+                graph, exact_triangles=exact_triangles,
+                sample_size=sample_size, seed=seed, use_engine=use_engine,
+                store=store)
+            by_fingerprint[fingerprint] = properties
+        results[position] = properties
+    return results
 
 
 def _sampled_triangle_stats(graph: Graph, sample_size: int,

@@ -86,12 +86,42 @@ class EdgePartition:
         return [np.unique(self.graph.dst[self.assignment == p])
                 for p in range(self.num_partitions)]
 
+    # ------------------------------------------------------------------ #
+    # Vectorized coverage counts: one np.unique pass over packed
+    # (partition, vertex) keys instead of materializing per-partition vertex
+    # sets in a Python loop.  The *_sets methods above stay for callers that
+    # need the actual vertex ids.
+    # ------------------------------------------------------------------ #
+    def _unique_pair_keys(self, vertices: np.ndarray) -> np.ndarray:
+        return np.unique(self.assignment * np.int64(self.graph.num_vertices)
+                         + vertices)
+
+    def _per_partition_unique_counts(self, vertices: np.ndarray) -> np.ndarray:
+        pairs = self._unique_pair_keys(vertices)
+        return np.bincount((pairs // self.graph.num_vertices).astype(np.int64),
+                           minlength=self.num_partitions)
+
+    def vertex_counts(self) -> np.ndarray:
+        """``|V(p_i)|`` per partition (union of endpoint coverage)."""
+        pairs = np.union1d(self._unique_pair_keys(self.graph.src),
+                           self._unique_pair_keys(self.graph.dst))
+        return np.bincount((pairs // self.graph.num_vertices).astype(np.int64),
+                           minlength=self.num_partitions)
+
+    def source_vertex_counts(self) -> np.ndarray:
+        """``|V_src(p_i)|`` per partition."""
+        return self._per_partition_unique_counts(self.graph.src)
+
+    def destination_vertex_counts(self) -> np.ndarray:
+        """``|V_dst(p_i)|`` per partition."""
+        return self._per_partition_unique_counts(self.graph.dst)
+
     def vertex_replication_counts(self) -> np.ndarray:
         """Number of partitions each vertex is replicated to (0 if isolated)."""
-        counts = np.zeros(self.graph.num_vertices, dtype=np.int64)
-        for vertices in self.vertex_sets():
-            counts[vertices] += 1
-        return counts
+        pairs = np.union1d(self._unique_pair_keys(self.graph.src),
+                           self._unique_pair_keys(self.graph.dst))
+        return np.bincount((pairs % self.graph.num_vertices).astype(np.int64),
+                           minlength=self.graph.num_vertices)
 
 
 class EdgePartitioner(abc.ABC):

@@ -92,8 +92,11 @@ class TwoPhaseStreamingPartitioner(EdgePartitioner):
                        num_partitions: int) -> np.ndarray:
         """Assign clusters to partitions with a largest-first greedy packing."""
         num_vertices = cluster_of.shape[0]
-        cluster_volume = np.zeros(num_vertices, dtype=np.float64)
-        np.add.at(cluster_volume, cluster_of, degrees.astype(np.float64))
+        # bincount sums the weights in array order, matching the np.add.at
+        # scatter it replaces bit for bit.
+        cluster_volume = np.bincount(cluster_of,
+                                     weights=degrees.astype(np.float64),
+                                     minlength=num_vertices)
         cluster_ids = np.flatnonzero(cluster_volume > 0)
         order = cluster_ids[np.argsort(-cluster_volume[cluster_ids])]
         partition_load = np.zeros(num_partitions, dtype=np.float64)

@@ -16,7 +16,29 @@ import numpy as np
 
 from ...graph import Graph
 
-__all__ = ["SuperstepOutcome", "VertexCentricAlgorithm"]
+__all__ = ["SuperstepOutcome", "VertexCentricAlgorithm", "scatter_min"]
+
+
+def scatter_min(target: np.ndarray, indices: np.ndarray,
+                values: np.ndarray) -> None:
+    """``target[indices] = min(target[indices], values)`` with duplicates.
+
+    Vectorized replacement for ``np.minimum.at`` (which, like all ``.at``
+    ufunc scatters, falls back to a slow buffered per-element loop): group
+    the candidate values by destination with one sort and reduce each group
+    with ``np.minimum.reduceat``.  Minimum is order-independent, so results
+    are bit-identical to the scatter loop.  ``target`` is updated in place.
+    """
+    if indices.size == 0:
+        return
+    order = np.argsort(indices, kind="stable")
+    sorted_indices = indices[order]
+    sorted_values = values[order]
+    group_starts = np.flatnonzero(
+        np.concatenate([[True], sorted_indices[1:] != sorted_indices[:-1]]))
+    group_minima = np.minimum.reduceat(sorted_values, group_starts)
+    destinations = sorted_indices[group_starts]
+    target[destinations] = np.minimum(target[destinations], group_minima)
 
 
 @dataclass

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...graph import Graph
-from .base import SuperstepOutcome, VertexCentricAlgorithm
+from .base import SuperstepOutcome, VertexCentricAlgorithm, scatter_min
 
 __all__ = ["ConnectedComponents"]
 
@@ -36,7 +36,7 @@ class ConnectedComponents(VertexCentricAlgorithm):
         for senders, receivers in ((graph.src, graph.dst), (graph.dst, graph.src)):
             sending = active[senders]
             if sending.any():
-                np.minimum.at(new_state, receivers[sending],
-                              state[senders[sending]])
+                scatter_min(new_state, receivers[sending],
+                            state[senders[sending]])
         updated = new_state < state
         return SuperstepOutcome(new_state, updated, updated.copy())

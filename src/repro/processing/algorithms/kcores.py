@@ -58,7 +58,11 @@ class KCores(VertexCentricAlgorithm):
                                        (graph.dst, graph.src)):
                 affected = to_remove[senders]
                 if affected.any():
-                    np.subtract.at(new_state, receivers[affected], 1.0)
+                    # Residual degrees are integer-valued floats, so
+                    # subtracting the bincounted decrement total equals the
+                    # element-at-a-time np.subtract.at scatter exactly.
+                    new_state -= np.bincount(receivers[affected],
+                                             minlength=graph.num_vertices)
             new_state[~alive | to_remove] = -1.0
             new_state[alive & ~to_remove] = np.maximum(
                 new_state[alive & ~to_remove], 0.0)

@@ -37,10 +37,13 @@ class PageRank(VertexCentricAlgorithm):
     def superstep(self, graph: Graph, state: np.ndarray,
                   active: np.ndarray) -> SuperstepOutcome:
         out_degrees = graph.out_degrees()
-        contributions = np.zeros(graph.num_vertices)
         safe_degrees = np.maximum(out_degrees, 1)
         shares = state / safe_degrees
-        np.add.at(contributions, graph.dst, shares[graph.src])
+        # bincount accumulates weights in edge order, exactly like the
+        # np.add.at scatter it replaces, but without its per-element
+        # buffered-ufunc overhead.
+        contributions = np.bincount(graph.dst, weights=shares[graph.src],
+                                    minlength=graph.num_vertices)
         # Dangling vertices redistribute their rank uniformly.
         dangling_mass = state[out_degrees == 0].sum() / max(graph.num_vertices, 1)
         new_state = ((1.0 - self.damping) / max(graph.num_vertices, 1)

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...graph import Graph
-from .base import SuperstepOutcome, VertexCentricAlgorithm
+from .base import SuperstepOutcome, VertexCentricAlgorithm, scatter_min
 
 __all__ = ["SingleSourceShortestPaths"]
 
@@ -64,7 +64,7 @@ class SingleSourceShortestPaths(VertexCentricAlgorithm):
         new_state = state.copy()
         sending = active[graph.src]
         if sending.any():
-            np.minimum.at(new_state, graph.dst[sending],
-                          state[graph.src[sending]] + 1.0)
+            scatter_min(new_state, graph.dst[sending],
+                        state[graph.src[sending]] + 1.0)
         updated = new_state < state
         return SuperstepOutcome(new_state, updated, updated.copy())

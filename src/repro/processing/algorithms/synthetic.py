@@ -40,8 +40,13 @@ class SyntheticWorkload(VertexCentricAlgorithm):
 
     def superstep(self, graph: Graph, state: np.ndarray,
                   active: np.ndarray) -> SuperstepOutcome:
-        aggregated = np.zeros_like(state)
-        np.add.at(aggregated, graph.dst, state[graph.src])
+        # One bincount per feature column replaces the 2-D np.add.at scatter
+        # (same edge-order accumulation, so states are bit-identical).
+        aggregated = np.empty_like(state)
+        for feature in range(state.shape[1]):
+            aggregated[:, feature] = np.bincount(
+                graph.dst, weights=state[graph.src, feature],
+                minlength=graph.num_vertices)
         in_degrees = np.maximum(graph.in_degrees(), 1).astype(np.float64)
         new_state = 0.5 * state + 0.5 * aggregated / in_degrees[:, None]
         updated = np.ones(graph.num_vertices, dtype=bool)

@@ -30,13 +30,10 @@ once per unit even when both phases (or several workloads) need it.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from ..graph import Graph
+from ..graph import Graph, graph_fingerprint
 from ..processing import ClusterSpec
 
 __all__ = [
@@ -50,22 +47,6 @@ __all__ = [
     "ProfilePlan",
     "build_plan",
 ]
-
-
-def graph_fingerprint(graph: Graph) -> str:
-    """Content fingerprint of a graph (independent of its name/type labels).
-
-    Two graphs with identical vertex counts and edge arrays share all
-    content-addressed artifacts (partitions, properties, quality metrics,
-    processing results).
-    """
-    digest = hashlib.sha256()
-    digest.update(b"graph-v1:")
-    digest.update(str(graph.num_vertices).encode("ascii"))
-    digest.update(b":")
-    digest.update(np.ascontiguousarray(graph.src, dtype=np.int64).tobytes())
-    digest.update(np.ascontiguousarray(graph.dst, dtype=np.int64).tobytes())
-    return digest.hexdigest()[:20]
 
 
 def _cluster_signature(cluster: Optional[ClusterSpec]):

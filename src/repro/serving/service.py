@@ -13,9 +13,18 @@ load:
   worker into one :meth:`PartitionerSelector.select_batch` call, which scores
   the whole (requests x candidates) grid with a single vectorized call per
   underlying predictor model instead of one call per request per candidate.
+* **Result caching** — full :class:`SelectionResult` outcomes are memoized
+  by ``(graph properties, algorithm, num_partitions, goal, num_iterations)``
+  in a bounded LRU, so repeated identical requests skip the predictors
+  entirely.  Hit/miss counters surface on ``/healthz``; the cache is
+  invalidated whenever the loaded model changes (:meth:`reload`,
+  :meth:`reload_from_registry`).
 
 Batched and sequential answers are identical: both run the same batched
-selector path, only the batch size differs.
+selector path, only the batch size differs.  A batch of raw graphs resolves
+its properties with one :func:`repro.graph.compute_properties_batch` call
+(content-deduplicated; one vectorized engine pass per distinct graph) via
+:meth:`submit_many`.
 """
 
 from __future__ import annotations
@@ -26,9 +35,9 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..graph import Graph, GraphProperties, compute_properties
+from ..graph import Graph, GraphProperties, compute_properties_batch
 from ..ease.pipeline import EASE
 from ..ease.selector import (
     OptimizationGoal,
@@ -52,6 +61,8 @@ class ServiceStats:
     max_batch_size: int = 0
     property_cache_hits: int = 0
     property_cache_misses: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
 
     def mean_batch_size(self) -> float:
         return self.batched_requests / self.batches if self.batches else 0.0
@@ -62,13 +73,22 @@ class ServiceStats:
                 "max_batch_size": self.max_batch_size,
                 "mean_batch_size": self.mean_batch_size(),
                 "property_cache_hits": self.property_cache_hits,
-                "property_cache_misses": self.property_cache_misses}
+                "property_cache_misses": self.property_cache_misses,
+                "result_cache_hits": self.result_cache_hits,
+                "result_cache_misses": self.result_cache_misses}
 
 
 @dataclass
 class _Pending:
     request: SelectionRequest
     future: Future = field(default_factory=Future)
+    #: Result-cache key of the request (``None`` when caching is disabled);
+    #: the executing batch stores its outcome under this key.
+    cache_key: Optional[Tuple] = None
+    #: Model generation the request was submitted under; a result computed
+    #: against an older generation is never written to the cache (the model
+    #: may have been swapped while the batch was in flight).
+    generation: int = 0
 
 
 _STOP = object()
@@ -91,6 +111,9 @@ class SelectionService:
         first one arrives.  Zero still batches whatever is already queued.
     property_cache_size:
         Number of memoized ``GraphProperties`` entries (LRU by fingerprint).
+    result_cache_size:
+        Number of memoized :class:`SelectionResult` entries (LRU by request
+        key); ``0`` disables result caching.
 
     The micro-batcher only runs between :meth:`start` and :meth:`stop` (or
     inside a ``with`` block); an unstarted service executes every request
@@ -102,19 +125,31 @@ class SelectionService:
                  model_info: Optional[Dict] = None,
                  max_batch_size: int = 64,
                  batch_wait_seconds: float = 0.002,
-                 property_cache_size: int = 1024) -> None:
+                 property_cache_size: int = 1024,
+                 result_cache_size: int = 4096) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_wait_seconds < 0:
             raise ValueError("batch_wait_seconds must be >= 0")
+        if result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")
         self.system = system
         self.model_info = dict(model_info or {})
         self.max_batch_size = max_batch_size
         self.batch_wait_seconds = batch_wait_seconds
         self.property_cache_size = property_cache_size
+        self.result_cache_size = result_cache_size
         self.stats = ServiceStats()
         self.started_at = time.time()
         self._properties: "OrderedDict[str, GraphProperties]" = OrderedDict()
+        self._results: "OrderedDict[Tuple, SelectionResult]" = OrderedDict()
+        # Bumped under _lock on every model swap; guards against a batch in
+        # flight during reload() writing old-model results into the cache.
+        self._model_generation = 0
+        # Filled by from_registry so reload_from_registry can re-resolve.
+        self._registry: Optional[ModelRegistry] = None
+        self._registry_name: Optional[str] = None
+        self._registry_ref: Optional[str] = None
         self._lock = threading.Lock()
         # Serialises start/stop against the running-check-plus-enqueue in
         # submit(): without it a request could be enqueued just after stop()
@@ -138,7 +173,11 @@ class SelectionService:
         info = {"name": entry.name, "version": entry.version,
                 "tags": entry.tags, "source": "registry",
                 "manifest": entry.manifest}
-        return cls(system, model_info=info, **kwargs)
+        service = cls(system, model_info=info, **kwargs)
+        service._registry = registry
+        service._registry_name = name
+        service._registry_ref = ref
+        return service
 
     @classmethod
     def from_bundle(cls, path: str, **kwargs) -> "SelectionService":
@@ -199,25 +238,122 @@ class SelectionService:
     def resolve_properties(self, graph: Union[Graph, GraphProperties]
                            ) -> GraphProperties:
         """Graph properties memoized by content fingerprint (LRU)."""
-        if isinstance(graph, GraphProperties):
-            return graph
-        fingerprint = graph_fingerprint(graph)
+        return self.resolve_properties_batch([graph])[0]
+
+    def resolve_properties_batch(self,
+                                 graphs: Sequence[Union[Graph,
+                                                        GraphProperties]]
+                                 ) -> List[GraphProperties]:
+        """Batched property resolution: one engine call for all cache misses.
+
+        Cold-starting a corpus of unseen graphs therefore costs a single
+        :func:`repro.graph.compute_properties_batch` invocation — content
+        duplicates collapse to one computation, each distinct graph runs one
+        vectorized engine pass — instead of one per-request extraction
+        round-trip through the service cache.
+        """
+        resolved: List[Optional[GraphProperties]] = [None] * len(graphs)
+        # Hash outside the lock: fingerprinting reads the full edge arrays,
+        # and serializing every request thread on it would gut the
+        # concurrency the micro-batcher exists to exploit.
+        fingerprints: List[Optional[str]] = [None] * len(graphs)
+        for position, graph in enumerate(graphs):
+            if isinstance(graph, GraphProperties):
+                resolved[position] = graph
+            else:
+                fingerprints[position] = graph_fingerprint(graph)
+        missing: "OrderedDict[str, Graph]" = OrderedDict()
         with self._lock:
-            cached = self._properties.get(fingerprint)
-            if cached is not None:
-                self._properties.move_to_end(fingerprint)
-                self.stats.property_cache_hits += 1
-                return cached
-            self.stats.property_cache_misses += 1
-        # Same settings as PartitionerSelector._resolve_properties, so cached
-        # and uncached requests answer identically.
-        properties = compute_properties(graph, exact_triangles=False)
+            for position, fingerprint in enumerate(fingerprints):
+                if fingerprint is None:
+                    continue
+                cached = self._properties.get(fingerprint)
+                if cached is not None:
+                    self._properties.move_to_end(fingerprint)
+                    self.stats.property_cache_hits += 1
+                    resolved[position] = cached
+                else:
+                    self.stats.property_cache_misses += 1
+                    missing.setdefault(fingerprint, graphs[position])
+        if missing:
+            # Same settings as PartitionerSelector._resolve_properties, so
+            # cached and uncached requests answer identically.
+            computed = compute_properties_batch(list(missing.values()),
+                                                exact_triangles=False)
+            by_fingerprint = dict(zip(missing.keys(), computed))
+            with self._lock:
+                for fingerprint, properties in by_fingerprint.items():
+                    self._properties[fingerprint] = properties
+                    self._properties.move_to_end(fingerprint)
+                while len(self._properties) > self.property_cache_size:
+                    self._properties.popitem(last=False)
+            for position, fingerprint in enumerate(fingerprints):
+                if resolved[position] is None and fingerprint is not None:
+                    resolved[position] = by_fingerprint[fingerprint]
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # Result memoization and model reload
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _result_key(request: SelectionRequest) -> Tuple:
+        """Cache key of a property-resolved request.
+
+        Properties enter by value (their eight floats), so two different
+        graphs with identical properties — or a precomputed-properties
+        request matching a graph request — share the cached outcome.
+        """
+        properties = request.graph
+        return (properties.num_edges, properties.num_vertices,
+                properties.mean_degree, properties.density,
+                properties.in_degree_skewness,
+                properties.out_degree_skewness,
+                properties.mean_triangles,
+                properties.mean_local_clustering,
+                request.algorithm, request.num_partitions, request.goal,
+                request.num_iterations)
+
+    def invalidate_result_cache(self) -> int:
+        """Drop all memoized selection outcomes; returns the entry count."""
         with self._lock:
-            self._properties[fingerprint] = properties
-            self._properties.move_to_end(fingerprint)
-            while len(self._properties) > self.property_cache_size:
-                self._properties.popitem(last=False)
-        return properties
+            dropped = len(self._results)
+            self._results.clear()
+            self._model_generation += 1
+        return dropped
+
+    def reload(self, system: EASE,
+               model_info: Optional[Dict] = None) -> None:
+        """Swap the served model and invalidate memoized selection outcomes.
+
+        Graph properties stay cached — they do not depend on the model.
+        In-flight batches finish and answer against the system they started
+        with, but their outcomes are *not* cached: the generation bump in
+        :meth:`invalidate_result_cache` makes their pending cache writes
+        stale, so a post-reload request can never hit an old-model result.
+        """
+        self.system = system
+        self.model_info = dict(model_info or {})
+        self.invalidate_result_cache()
+
+    def reload_from_registry(self) -> bool:
+        """Re-resolve the registry reference; reload if it moved.
+
+        Picks up ``repro models promote`` (the serving ref is usually a tag
+        such as ``production``) and newly published versions.  Returns True
+        when a different version was loaded — which also invalidated the
+        result cache — and False when the resolved version is unchanged.
+        """
+        if self._registry is None:
+            raise RuntimeError("service was not constructed from_registry")
+        entry = self._registry.resolve(self._registry_name, self._registry_ref)
+        if entry.version == self.model_info.get("version"):
+            return False
+        system = self._registry.load(entry.name, entry.version)
+        self.reload(system, model_info={
+            "name": entry.name, "version": entry.version,
+            "tags": entry.tags, "source": "registry",
+            "manifest": entry.manifest})
+        return True
 
     # ------------------------------------------------------------------ #
     # Request paths
@@ -239,21 +375,70 @@ class SelectionService:
         Invalid requests fail fast here (before batching) so one malformed
         request can never poison a coalesced batch.
         """
-        self._validate(request)
-        request = SelectionRequest(
-            graph=self.resolve_properties(request.graph),
-            algorithm=request.algorithm,
-            num_partitions=request.num_partitions,
-            goal=request.goal,
-            num_iterations=request.num_iterations)
-        pending = _Pending(request)
-        with self._lifecycle_lock:
-            running = self.running
-            if running:
-                self._queue.put(pending)
-        if not running:
-            self._execute([pending])
-        return pending.future
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests: Sequence[SelectionRequest]
+                    ) -> List["Future[SelectionResult]"]:
+        """Enqueue a batch of requests; returns one future per request.
+
+        All raw graphs in the batch resolve their properties through one
+        content-deduplicated :meth:`resolve_properties_batch` call;
+        result-cache hits resolve immediately without touching the
+        predictors.  Invalid requests fail fast (the whole call raises
+        before anything is enqueued).
+        """
+        for request in requests:
+            self._validate(request)
+        properties = self.resolve_properties_batch(
+            [request.graph for request in requests])
+        futures: List[Future] = []
+        misses: List[_Pending] = []
+        for request, props in zip(requests, properties):
+            resolved = SelectionRequest(
+                graph=props,
+                algorithm=request.algorithm,
+                num_partitions=request.num_partitions,
+                goal=request.goal,
+                num_iterations=request.num_iterations)
+            key = (self._result_key(resolved)
+                   if self.result_cache_size else None)
+            cached = None
+            generation = 0
+            if key is not None:
+                with self._lock:
+                    cached = self._results.get(key)
+                    if cached is not None:
+                        self._results.move_to_end(key)
+                        self.stats.result_cache_hits += 1
+                        self.stats.requests += 1
+                    else:
+                        self.stats.result_cache_misses += 1
+                        generation = self._model_generation
+            if cached is not None:
+                future: "Future[SelectionResult]" = Future()
+                future.set_result(cached)
+                futures.append(future)
+                continue
+            pending = _Pending(resolved, cache_key=key,
+                               generation=generation)
+            futures.append(pending.future)
+            misses.append(pending)
+        if misses:
+            with self._lifecycle_lock:
+                running = self.running
+                if running:
+                    for pending in misses:
+                        self._queue.put(pending)
+            if not running:
+                self._execute(misses)
+        return futures
+
+    def select_many(self, requests: Sequence[SelectionRequest],
+                    timeout: Optional[float] = None) -> List[SelectionResult]:
+        """Blocking batch selection (one property pass, one predictor pass
+        when inline; coalesced by the worker otherwise)."""
+        return [future.result(timeout=timeout)
+                for future in self.submit_many(requests)]
 
     def select(self, graph: Union[Graph, GraphProperties], algorithm: str,
                num_partitions: int, goal: str = OptimizationGoal.END_TO_END,
@@ -321,6 +506,21 @@ class SelectionService:
                 if not pending.future.done():
                     pending.future.set_exception(error)
             return
+        cacheable = [(pending, result)
+                     for pending, result in zip(batch, results)
+                     if pending.cache_key is not None]
+        if cacheable:
+            with self._lock:
+                for pending, result in cacheable:
+                    # A reload between submit and here bumped the
+                    # generation; caching the old-model outcome would serve
+                    # stale selections as hits under the new model.
+                    if pending.generation != self._model_generation:
+                        continue
+                    self._results[pending.cache_key] = result
+                    self._results.move_to_end(pending.cache_key)
+                while len(self._results) > self.result_cache_size:
+                    self._results.popitem(last=False)
         for pending, result in zip(batch, results):
             pending.future.set_result(result)
 
