@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import sys
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -23,6 +24,103 @@ import numpy as np
 
 RESULTS_DIRECTORY = os.path.join(os.path.dirname(__file__), "results")
 CACHE_DIRECTORY = os.path.join(os.path.dirname(__file__), "_cache")
+
+
+# --------------------------------------------------------------------------- #
+# Memory measurement
+# --------------------------------------------------------------------------- #
+def peak_rss_bytes(children: bool = False) -> int:
+    """High-water-mark resident set size via ``getrusage``, in bytes.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; ``children=True``
+    reports the peak over all waited-for child processes (one worker's
+    peak, not their sum) — the number the memory benchmarks compare.
+    """
+    import resource
+
+    who = resource.RUSAGE_CHILDREN if children else resource.RUSAGE_SELF
+    peak = resource.getrusage(who).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return peak
+
+
+def _child_pids() -> List[int]:
+    """PIDs of the direct children of this process (Linux)."""
+    pids: List[int] = []
+    task_dir = f"/proc/{os.getpid()}/task"
+    try:
+        for tid in os.listdir(task_dir):
+            with open(os.path.join(task_dir, tid, "children"),
+                      "r", encoding="ascii") as handle:
+                pids.extend(int(pid) for pid in handle.read().split())
+        return pids
+    except OSError:
+        pids.clear()
+    try:  # fallback: scan /proc for our PPid
+        entries = os.listdir("/proc")
+    except OSError:
+        return pids
+    self_pid = os.getpid()
+    for entry in entries:
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat", "r", encoding="ascii") as handle:
+                stat = handle.read()
+            ppid = int(stat.rsplit(")", 1)[1].split()[1])
+        except (OSError, IndexError, ValueError):
+            continue
+        if ppid == self_pid:
+            pids.append(int(entry))
+    return pids
+
+
+def _pss_bytes(pid: int) -> int:
+    try:
+        with open(f"/proc/{pid}/smaps_rollup", "r",
+                  encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:  # no smaps_rollup: VmRSS over-counts shared pages, never under
+        with open(f"/proc/{pid}/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 0
+
+
+def children_pss_bytes() -> int:
+    """Aggregate proportional set size of this process's children, in bytes.
+
+    PSS charges each resident page ``1/sharers``, so a memory-mapped file
+    held by N pool workers counts *once* in the sum while N private
+    (unpickled) copies count N times — the footprint metric the zero-copy
+    benchmarks gate on.  Children that exit between enumeration and reading
+    contribute 0.  Linux-only; returns 0 where /proc is unavailable.
+    """
+    return sum(_pss_bytes(pid) for pid in _child_pids())
+
+
+def current_rss_bytes() -> int:
+    """Resident set size of this process right now, in bytes.
+
+    Reads ``/proc/self/status`` (Linux); falls back to the getrusage peak
+    where /proc is unavailable, which only ever over-reports.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return peak_rss_bytes()
 
 
 # --------------------------------------------------------------------------- #

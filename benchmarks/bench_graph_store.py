@@ -1,0 +1,493 @@
+"""Memory-mapped graph store: page-shared workers and O(1) serving cold-start.
+
+The zero-copy claim of the graph store (``repro.graph.store``) is that a
+profiling corpus stored as on-disk edge arrays + precomputed CSR views is
+*opened*, not loaded: ``np.memmap`` pages fault in on first touch and are
+shared through the OS page cache by every process that maps them.  Three
+experiments measure what that buys over the in-RAM baseline, which ships
+pickled edge arrays to every pool worker:
+
+* **memory footprint** — the same profiling run (process pool) executed
+  by a subprocess probe in ``store`` mode (graphs opened from the store)
+  and in ``arrays`` mode (graphs materialized in RAM).  The gated metric
+  is the *corpus residency of the profiling driver*: the resident-set
+  growth of the probe between interpreter start-up and pool fork.  The
+  in-RAM driver materializes every edge array, so its residency grows
+  with the corpus; the store-backed driver reads only ``meta.json`` per
+  graph and stays O(1) no matter how large the corpus is.  The full run
+  asserts the store-backed residency is at least ``MIN_RSS_REDUCTION``x
+  lower.
+
+  Worker-side memory is *reported* but deliberately not gated, because on
+  fork platforms the comparison is confounded twice over: the in-RAM
+  corpus is inherited copy-on-write (so the workers' edge arrays are
+  page-shared in both modes — only the privately rebuilt CSR views
+  differ, and the pool's aggregate PSS sampled at backend close shows
+  it), and the per-worker ``getrusage`` high-water mark charges shared
+  pages — COW or page-cache — fully to every process, so it cannot see
+  either mode's sharing.  Both numbers are in the table: the per-worker
+  peak RSS and the pool retained PSS (aggregate proportional set size at
+  close, after numpy has returned the transient task buffers).
+* **time to first completed task** — pool start-up ships O(1) path
+  references instead of the pickled corpus, so the first profiling task
+  completes sooner on a cold store-backed pool.
+* **serving cold start** — time to the first ``/v1/select`` response for a
+  cold large graph: a ``graph_fingerprint`` request against a server with a
+  graph store (the graph is opened O(1) server-side) vs. shipping the edge
+  arrays through JSON.
+
+Every experiment asserts the store-backed results are identical,
+record-for-record, to the in-RAM baseline.  ``--quick`` is the CI smoke
+mode: tiny corpus in a temporary store, identity assertions only, no
+timing or memory thresholds.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct CLI invocation
+    pytest = None
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import numpy as np
+
+from _harness import (
+    CACHE_DIRECTORY,
+    cached,
+    children_pss_bytes,
+    current_rss_bytes,
+    format_table,
+    peak_rss_bytes,
+    report,
+)
+from repro.generators import generate_rmat
+from repro.graph import Graph, GraphStore
+from repro.ease import EASE, GraphProfiler
+from repro.runtime import ProcessPoolBackend, ProfileExecutor, build_dataset
+
+#: Profiling corpus of the memory / first-task experiments.  Sized so the
+#: shipped edge arrays dominate the interpreter baseline (~5 MiB of src/dst
+#: per graph, ~60 MiB corpus).
+NUM_GRAPHS = 12
+VERTICES = 30_000
+EDGES = 320_000
+PARALLEL_JOBS = 8
+
+#: The profiled grid: one streaming partitioner, quality phase only.  The
+#: property tasks are the CSR consumers — the store path maps the
+#: precomputed undirected view, the array path rebuilds it per worker.
+PARTITIONERS = ("dbh",)
+PARTITION_COUNTS = (2,)
+
+MIN_RSS_REDUCTION = 2.0
+MIN_FIRST_TASK_SPEEDUP = 1.2
+MIN_COLD_START_SPEEDUP = 1.2
+
+#: Serving experiment: one large query graph (~16 MiB of edge arrays, a
+#: multi-second JSON round trip when shipped inline).
+SERVING_VERTICES = 100_000
+SERVING_EDGES = 1_000_000
+SERVING_PARTITIONERS = ("2d", "dbh", "hdrf")
+
+QUICK_NUM_GRAPHS = 3
+QUICK_VERTICES = 160
+QUICK_EDGES = 900
+QUICK_JOBS = 2
+QUICK_SERVING_VERTICES = 200
+QUICK_SERVING_EDGES = 1_200
+
+
+# --------------------------------------------------------------------------- #
+# Corpus / store preparation
+# --------------------------------------------------------------------------- #
+def _corpus(num_graphs: int, vertices: int, edges: int):
+    return [generate_rmat(vertices, edges + 977 * index, seed=100 + index,
+                          graph_type="rmat")
+            for index in range(num_graphs)]
+
+
+def _ensure_store(directory: str, num_graphs: int, vertices: int,
+                  edges: int) -> GraphStore:
+    """Idempotently ingest the benchmark corpus into ``directory``."""
+    store = GraphStore(directory)
+    if len(store.list()) != num_graphs:
+        shutil.rmtree(directory, ignore_errors=True)
+        store = GraphStore(directory)
+        for graph in _corpus(num_graphs, vertices, edges):
+            store.save(graph)
+    return store
+
+
+def _materialize(graph: Graph) -> Graph:
+    """In-RAM copy of a (possibly mapped) graph — the baseline corpus."""
+    return Graph(np.array(graph.src), np.array(graph.dst),
+                 num_vertices=graph.num_vertices, name=graph.name,
+                 graph_type=graph.graph_type)
+
+
+def _load_corpus(store: GraphStore, mode: str):
+    graphs = store.open_all()
+    if mode == "arrays":
+        # The mapped sources are dropped as they are copied, so the parent
+        # holds exactly one in-RAM corpus — what a .npz loader would hold.
+        graphs = [_materialize(graph) for graph in graphs]
+    return graphs
+
+
+def _make_profiler(jobs: int, backend=None) -> GraphProfiler:
+    return GraphProfiler(partitioner_names=PARTITIONERS,
+                         partition_counts=PARTITION_COUNTS,
+                         processing_partition_count=2,
+                         algorithms=("pagerank",), jobs=jobs,
+                         backend=backend)
+
+
+def _assert_identical(datasets) -> None:
+    for dataset in datasets[1:]:
+        assert dataset.summary() == datasets[0].summary()
+        for field in ("quality", "partitioning_time", "processing"):
+            assert all(lhs == rhs for lhs, rhs in
+                       zip(getattr(dataset, field),
+                           getattr(datasets[0], field)))
+
+
+# --------------------------------------------------------------------------- #
+# Experiment 1: worker peak RSS (subprocess probe)
+# --------------------------------------------------------------------------- #
+class _RetainedFootprintBackend(ProcessPoolBackend):
+    """Process pool that samples the workers' aggregate PSS at close.
+
+    ``close()`` runs after the scheduler has drained every task: numpy has
+    returned the transient task buffers to the OS (large allocations are
+    mmap-backed), so the sample is the pool's *retained* footprint — worker
+    interpreters plus whatever corpus state the shipping mode left resident.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        super().__init__(max_workers)
+        self.retained_pss = None
+
+    def close(self):
+        if self.retained_pss is None:
+            self.retained_pss = children_pss_bytes()
+        super().close()
+
+
+def run_probe(args) -> int:
+    """Measurement child: profile the corpus, report memory marks as JSON.
+
+    Runs in a fresh interpreter so the pool workers fork from a parent
+    whose resident set holds nothing but this probe's corpus.
+    """
+    from repro.ease.persistence import save_dataset
+
+    baseline_rss = current_rss_bytes()
+    graphs = _load_corpus(GraphStore(args.store_dir), args.probe)
+    prefork_rss = current_rss_bytes()
+    plan = _make_profiler(jobs=args.jobs).build_plan(graphs, [])
+    backend = _RetainedFootprintBackend(args.jobs)
+    executor = ProfileExecutor(jobs=args.jobs, backend=backend)
+    start = time.perf_counter()
+    payloads, _ = executor.run(plan)
+    elapsed = time.perf_counter() - start
+    dataset = build_dataset(plan, payloads)
+    if args.dump:
+        save_dataset(dataset, args.dump)
+    print(json.dumps({
+        "mode": args.probe,
+        "baseline_rss": baseline_rss,
+        "prefork_rss": prefork_rss,
+        "pool_retained_pss": backend.retained_pss,
+        "worker_peak_rss": peak_rss_bytes(children=True),
+        "parent_peak_rss": peak_rss_bytes(),
+        "wall_seconds": elapsed,
+        "records": len(dataset.quality) + len(dataset.partitioning_time),
+    }))
+    return 0
+
+
+def _launch_probe(mode: str, store_dir: str, jobs: int, dump: str) -> dict:
+    env = dict(os.environ)
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (package_root if not existing
+                         else package_root + os.pathsep + existing)
+    completed = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--probe", mode,
+         "--store-dir", store_dir, "--jobs", str(jobs), "--dump", dump],
+        env=env, capture_output=True, text=True, check=False)
+    if completed.returncode != 0:
+        raise RuntimeError(f"probe {mode!r} failed:\n{completed.stderr}")
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def run_worker_rss(store_dir: str, jobs: int):
+    """Launch the store and arrays probes; return their reports + datasets."""
+    from repro.ease.persistence import load_dataset
+
+    reports, datasets = {}, {}
+    dump_dir = tempfile.mkdtemp(prefix="bench-graph-store-")
+    try:
+        for mode in ("store", "arrays"):
+            dump = os.path.join(dump_dir, f"{mode}.pkl")
+            reports[mode] = _launch_probe(mode, store_dir, jobs, dump)
+            datasets[mode] = load_dataset(dump)
+    finally:
+        shutil.rmtree(dump_dir, ignore_errors=True)
+    _assert_identical([datasets["store"], datasets["arrays"]])
+    return reports
+
+
+def report_worker_rss(reports: dict, jobs: int) -> float:
+    residency = {mode: r["prefork_rss"] - r["baseline_rss"]
+                 for mode, r in reports.items()}
+    reduction = residency["arrays"] / max(residency["store"], 1)
+    rows = []
+    for mode, r in reports.items():
+        rows.append((mode, residency[mode] / 2**20,
+                     r["pool_retained_pss"] / 2**20,
+                     r["worker_peak_rss"] / 2**20,
+                     r["wall_seconds"], r["records"]))
+    report("graph_store_worker_rss", format_table(
+        ("corpus", "driver corpus residency (MiB)",
+         "pool retained PSS (MiB)", "per-worker peak RSS (MiB)",
+         "wall clock (s)", "records"), rows,
+        title=f"Memory footprint: {NUM_GRAPHS} R-MAT graphs "
+              f"|V|={VERTICES} |E|~{EDGES}, process pool jobs={jobs}; "
+              f"gated: driver corpus residency (RSS growth of the "
+              f"driving process from interpreter start to pool fork — "
+              f"O(1) store-backed, corpus-sized in RAM); worker columns "
+              f"reported only, see module docstring (datasets asserted "
+              f"identical); reduction {reduction:.2f}x"))
+    return reduction
+
+
+# --------------------------------------------------------------------------- #
+# Experiment 2: time to first completed task
+# --------------------------------------------------------------------------- #
+class _FirstCompletionBackend(ProcessPoolBackend):
+    """Process pool that timestamps pool start and the first completion."""
+
+    def __init__(self, max_workers: int) -> None:
+        super().__init__(max_workers)
+        self.started_at = None
+        self.first_completed_at = None
+
+    def start(self, graphs, cache_dir, store=None):
+        self.started_at = time.perf_counter()
+        super().start(graphs, cache_dir, store=store)
+
+    def next_completed(self):
+        result = super().next_completed()
+        if self.first_completed_at is None:
+            self.first_completed_at = time.perf_counter()
+        return result
+
+
+def run_first_task(store: GraphStore, jobs: int):
+    """First-completion latency of a cold pool, store-backed vs shipped."""
+    outcomes = {}
+    for mode in ("store", "arrays"):
+        graphs = _load_corpus(store, mode)
+        plan = _make_profiler(jobs=jobs).build_plan(graphs, [])
+        backend = _FirstCompletionBackend(jobs)
+        executor = ProfileExecutor(jobs=jobs, backend=backend)
+        start = time.perf_counter()
+        payloads, _ = executor.run(plan)
+        total = time.perf_counter() - start
+        first = backend.first_completed_at - backend.started_at
+        outcomes[mode] = (first, total, build_dataset(plan, payloads))
+    _assert_identical([outcomes["store"][2], outcomes["arrays"][2]])
+    return outcomes
+
+
+def report_first_task(outcomes: dict, jobs: int) -> float:
+    speedup = outcomes["arrays"][0] / outcomes["store"][0]
+    rows = [(mode, first, total)
+            for mode, (first, total, _) in outcomes.items()]
+    report("graph_store_first_task", format_table(
+        ("corpus", "first task (s)", "full run (s)"), rows,
+        title=f"Time to first completed task, cold process pool "
+              f"(jobs={jobs}): store-backed pools ship O(1) path "
+              f"references at start-up; array pools pickle the corpus "
+              f"into every worker first ({speedup:.2f}x)"))
+    return speedup
+
+
+# --------------------------------------------------------------------------- #
+# Experiment 3: serving cold start
+# --------------------------------------------------------------------------- #
+def _train_serving_system():
+    profiler = GraphProfiler(partitioner_names=SERVING_PARTITIONERS,
+                             partition_counts=(2,),
+                             processing_partition_count=2,
+                             algorithms=("pagerank",))
+    graphs = [generate_rmat(96, 500 + 150 * seed, seed=seed,
+                            graph_type="rmat")
+              for seed in range(4)]
+    dataset = profiler.profile(graphs, graphs)
+    return EASE(partitioner_names=SERVING_PARTITIONERS).train(dataset)
+
+
+def _first_response(system, request_graph, graph_store=None):
+    """Seconds to the first /v1/select response of a cold server."""
+    from repro.serving import (
+        SelectionClient,
+        SelectionHTTPServer,
+        SelectionService,
+    )
+
+    service = SelectionService(system, graph_store=graph_store)
+    server = SelectionHTTPServer(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    with server:
+        thread.start()
+        client = SelectionClient(server.url, timeout=300)
+        start = time.perf_counter()
+        response = client.select(request_graph, "pagerank", 2)
+        elapsed = time.perf_counter() - start
+        server.shutdown()
+    thread.join(timeout=10)
+    return elapsed, response
+
+
+def run_serving_cold_start(vertices: int, edges: int):
+    """Fingerprint request against a store vs. shipping the edge arrays.
+
+    Both servers are cold (fresh service, no memoized properties) so each
+    response pays the full property extraction; the paths differ only in
+    how the graph reaches the service.
+    """
+    system = cached("graph_store_serving_model", _train_serving_system)
+    graph = generate_rmat(vertices, edges, seed=424, graph_type="rmat")
+    store_dir = tempfile.mkdtemp(prefix="bench-serving-store-")
+    try:
+        store = GraphStore(store_dir)
+        fingerprint = store.save(graph)
+        mapped_seconds, mapped_response = _first_response(
+            system, fingerprint, graph_store=store)
+        shipped_seconds, shipped_response = _first_response(system, graph)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    assert mapped_response["selected"] == shipped_response["selected"]
+    assert mapped_response["scores"] == shipped_response["scores"]
+    return {"graph_fingerprint": (mapped_seconds, mapped_response),
+            "edge arrays (JSON)": (shipped_seconds, shipped_response)}
+
+
+def report_serving_cold_start(outcomes: dict, vertices: int,
+                              edges: int) -> float:
+    speedup = (outcomes["edge arrays (JSON)"][0]
+               / outcomes["graph_fingerprint"][0])
+    rows = [(mode, seconds, response["selected"])
+            for mode, (seconds, response) in outcomes.items()]
+    report("graph_store_serving_cold_start", format_table(
+        ("request payload", "first response (s)", "selected"), rows,
+        title=f"Serving cold start, |V|={vertices} |E|={edges}: "
+              f"'graph_fingerprint' opens the stored graph O(1) "
+              f"server-side instead of round-tripping the edge arrays "
+              f"through JSON ({speedup:.2f}x); identical responses "
+              f"asserted"))
+    return speedup
+
+
+# --------------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------------- #
+def run_full():
+    store_dir = os.path.join(CACHE_DIRECTORY, "graph_store_corpus")
+    store = _ensure_store(store_dir, NUM_GRAPHS, VERTICES, EDGES)
+    jobs = PARALLEL_JOBS
+
+    reports = run_worker_rss(store_dir, jobs)
+    reduction = report_worker_rss(reports, jobs)
+
+    first_task = run_first_task(store, jobs)
+    first_task_speedup = report_first_task(first_task, jobs)
+
+    cold_start = run_serving_cold_start(SERVING_VERTICES, SERVING_EDGES)
+    cold_start_speedup = report_serving_cold_start(
+        cold_start, SERVING_VERTICES, SERVING_EDGES)
+
+    assert cold_start_speedup >= MIN_COLD_START_SPEEDUP, (
+        f"serving cold-start speedup {cold_start_speedup:.2f}x below "
+        f"{MIN_COLD_START_SPEEDUP}x")
+    # Both gates hold independently of the core count: the driver's corpus
+    # residency is set before the pool exists, and the start-up shipping
+    # always delays the first task.
+    assert reduction >= MIN_RSS_REDUCTION, (
+        f"store-backed driver corpus residency reduction {reduction:.2f}x "
+        f"below {MIN_RSS_REDUCTION}x")
+    assert first_task_speedup >= MIN_FIRST_TASK_SPEEDUP, (
+        f"first-task speedup {first_task_speedup:.2f}x below "
+        f"{MIN_FIRST_TASK_SPEEDUP}x")
+    return reports
+
+
+def run_quick():
+    """CI smoke: tiny corpus, probe plumbing and identity assertions only."""
+    store_dir = tempfile.mkdtemp(prefix="bench-graph-store-quick-")
+    try:
+        store = _ensure_store(store_dir, QUICK_NUM_GRAPHS, QUICK_VERTICES,
+                              QUICK_EDGES)
+        reports = run_worker_rss(store_dir, QUICK_JOBS)
+        assert reports["store"]["records"] == reports["arrays"]["records"]
+
+        first_task = run_first_task(store, QUICK_JOBS)
+
+        # The mapped corpus must also match the sequential inline reference.
+        graphs = _load_corpus(store, "store")
+        inline = _make_profiler(jobs=1).profile(graphs, [])
+        _assert_identical([inline, first_task["store"][2]])
+
+        run_serving_cold_start(QUICK_SERVING_VERTICES, QUICK_SERVING_EDGES)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    print("quick smoke passed: store-backed profiling (probe, pool) and "
+          "fingerprint serving produced results identical to the in-RAM "
+          "baseline")
+
+
+if pytest is not None:
+    @pytest.mark.benchmark(group="graph_store")
+    def test_graph_store(benchmark):
+        benchmark.pedantic(run_full, rounds=1, iterations=1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: tiny corpus, identity "
+                             "assertions only (no timing or memory "
+                             "thresholds)")
+    parser.add_argument("--probe", choices=("store", "arrays"), default=None,
+                        help=argparse.SUPPRESS)  # internal measurement child
+    parser.add_argument("--store-dir", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--jobs", type=int, default=PARALLEL_JOBS,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--dump", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.probe:
+        return run_probe(args)
+    if args.quick:
+        run_quick()
+    else:
+        run_full()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

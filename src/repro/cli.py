@@ -23,7 +23,18 @@ Two support the profiling runtime:
     them, ack results (the remote half of ``profile --backend worker``).
 ``cache gc``
     Shrink a content-addressed artifact cache to a size bound (LRU order)
-    and report the reclaimed bytes.
+    and report the reclaimed bytes; ``--graph-store`` adds a storage
+    report of a graph store alongside.
+
+One manages the memory-mapped graph store (``docs/ARCHITECTURE.md``):
+
+``graph``
+    ``graph import`` ingests edge-list / ``.npz`` graphs into an on-disk
+    content-addressed store of raw edges + precomputed CSR views;
+    ``graph ls`` lists the stored graphs.  ``profile``, ``properties``
+    and ``serve`` accept ``--graph-store`` to resolve graphs from such a
+    store as zero-copy memory maps (workers share the OS page cache
+    instead of receiving pickled copies).
 
 One exposes the property engine:
 
@@ -103,6 +114,27 @@ def _load_graph_directory(directory: str) -> List[Graph]:
     return graphs
 
 
+def _gather_graphs(args: argparse.Namespace) -> List[Graph]:
+    """Graphs from --graph-store (memory-mapped) and/or --graphs (loaded)."""
+    store_dir = getattr(args, "graph_store", None)
+    graphs_dir = getattr(args, "graphs", None)
+    if not store_dir and not graphs_dir:
+        raise SystemExit("at least one of --graphs and --graph-store is "
+                         "required")
+    graphs: List[Graph] = []
+    if store_dir:
+        from .graph import GraphStore
+
+        if not os.path.isdir(store_dir):
+            raise SystemExit(f"graph store {store_dir!r} does not exist")
+        graphs.extend(GraphStore(store_dir).open_all())
+        if not graphs and not graphs_dir:
+            raise SystemExit(f"graph store {store_dir!r} holds no graphs")
+    if graphs_dir:
+        graphs.extend(_load_graph_directory(graphs_dir))
+    return graphs
+
+
 # --------------------------------------------------------------------------- #
 # Subcommands
 # --------------------------------------------------------------------------- #
@@ -121,7 +153,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_profile(args: argparse.Namespace) -> int:
-    graphs = _load_graph_directory(args.graphs)
+    graphs = _gather_graphs(args)
     existing = None
     if args.extend:
         if not os.path.exists(args.extend):
@@ -195,6 +227,62 @@ def _command_cache_gc(args: argparse.Namespace) -> int:
           f"({report['removed_files']} artifacts); "
           f"{report['remaining_bytes']} bytes in "
           f"{report['remaining_files']} artifacts remain")
+    if args.graph_store:
+        from .graph import GraphStore
+
+        if not os.path.isdir(args.graph_store):
+            raise SystemExit(
+                f"graph store {args.graph_store!r} does not exist")
+        usage = GraphStore(args.graph_store).disk_usage()
+        print(f"graph store {args.graph_store}: {usage['bytes']} bytes in "
+              f"{usage['files']} files across {usage['graphs']} graphs "
+              f"(not collected; remove graph directories to reclaim)")
+    return 0
+
+
+def _command_graph_import(args: argparse.Namespace) -> int:
+    from .graph import GraphStore, graph_fingerprint
+
+    store = GraphStore(args.store)
+    imported = skipped = 0
+    for path in args.inputs:
+        if not os.path.exists(path):
+            raise SystemExit(f"graph file {path!r} does not exist")
+        graph = _load_graph(path)
+        already = graph_fingerprint(graph) in store
+        fingerprint = store.save(graph)
+        if already:
+            skipped += 1
+            status = "exists"
+        else:
+            imported += 1
+            status = "stored"
+        print(f"{fingerprint}  {status}  {graph.name}  "
+              f"|V|={graph.num_vertices} |E|={graph.num_edges}")
+    print(f"imported {imported} graphs into {args.store} "
+          f"({skipped} already present)")
+    return 0
+
+
+def _command_graph_ls(args: argparse.Namespace) -> int:
+    from .graph import GraphStore
+
+    if not os.path.isdir(args.store):
+        raise SystemExit(f"graph store {args.store!r} does not exist")
+    store = GraphStore(args.store)
+    infos = sorted(store.list(), key=lambda info: (info.name,
+                                                   info.fingerprint))
+    if not infos:
+        print("no stored graphs")
+        return 0
+    print(f"{'fingerprint':20s} {'name':24s} {'type':10s} "
+          f"{'|V|':>10s} {'|E|':>12s} {'bytes':>14s}")
+    for info in infos:
+        print(f"{info.fingerprint:20s} {info.name:24s} "
+              f"{info.graph_type:10s} {info.num_vertices:10d} "
+              f"{info.num_edges:12d} {info.nbytes:14d}")
+    usage = store.disk_usage()
+    print(f"{usage['graphs']} graphs, {usage['bytes']} bytes on disk")
     return 0
 
 
@@ -203,7 +291,7 @@ def _command_properties(args: argparse.Namespace) -> int:
 
     from .graph import compute_properties_batch
 
-    graphs = _load_graph_directory(args.graphs)
+    graphs = _gather_graphs(args)
     store = None
     if args.cache_dir:
         from .runtime import ArtifactStore
@@ -290,11 +378,14 @@ def _command_select(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from .serving import SelectionHTTPServer
 
+    if args.graph_store and not os.path.isdir(args.graph_store):
+        raise SystemExit(f"graph store {args.graph_store!r} does not exist")
     # Batching knobs go through the constructor so its validation applies.
     try:
         service, registry = _build_service(
             args, max_batch_size=args.max_batch_size,
-            batch_wait_seconds=args.batch_wait_ms / 1000.0)
+            batch_wait_seconds=args.batch_wait_ms / 1000.0,
+            graph_store=args.graph_store)
     except ValueError as error:
         raise SystemExit(str(error))
     server = SelectionHTTPServer(service, registry=registry, host=args.host,
@@ -303,6 +394,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     # server.url reports the actually bound port (--port 0 picks a free one)
     print(f"serving model {info.get('name')!r} version {info.get('version')} "
           f"on {server.url}")
+    if args.graph_store:
+        print(f"graph store: {args.graph_store} (requests may send "
+              f"'graph_fingerprint' instead of edge arrays)")
     print("endpoints: POST /v1/select  POST /v1/predict  GET /v1/models  "
           "GET /healthz")
     try:
@@ -383,8 +477,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = subparsers.add_parser(
         "profile", help="profile graphs with all partitioners and workloads")
-    profile.add_argument("--graphs", required=True,
+    profile.add_argument("--graphs", default=None,
                          help="directory of .npz / edge-list graphs")
+    profile.add_argument("--graph-store", default=None, metavar="DIR",
+                         help="memory-mapped graph store (see 'graph "
+                              "import'); its graphs join --graphs, opened "
+                              "zero-copy so parallel workers share pages "
+                              "instead of receiving pickled copies")
     profile.add_argument("--output", required=True,
                          help="output path of the profiling dataset (.pkl)")
     profile.add_argument("--partitioners", nargs="+",
@@ -457,13 +556,37 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument("--max-bytes", type=int, required=True,
                           help="target size in bytes (0 clears the cache "
                                "entirely)")
+    cache_gc.add_argument("--graph-store", default=None, metavar="DIR",
+                          help="also report the disk usage of this graph "
+                               "store (stores are content-addressed and "
+                               "never collected automatically)")
     cache_gc.set_defaults(handler=_command_cache_gc)
+
+    graph = subparsers.add_parser(
+        "graph", help="manage the memory-mapped graph store")
+    graph_commands = graph.add_subparsers(dest="graph_command", required=True)
+    graph_import = graph_commands.add_parser(
+        "import", help="ingest graphs into a content-addressed store of "
+                       "raw edges + precomputed CSR views")
+    graph_import.add_argument("inputs", nargs="+", metavar="GRAPH",
+                              help=".npz or whitespace edge-list graph files")
+    graph_import.add_argument("--store", required=True,
+                              help="store directory (created if missing)")
+    graph_import.set_defaults(handler=_command_graph_import)
+    graph_ls = graph_commands.add_parser(
+        "ls", help="list stored graphs (fingerprint, size, on-disk bytes)")
+    graph_ls.add_argument("--store", required=True,
+                          help="store directory to list")
+    graph_ls.set_defaults(handler=_command_graph_ls)
 
     properties = subparsers.add_parser(
         "properties", help="extract graph properties in one batched "
                            "property-engine pass")
-    properties.add_argument("--graphs", required=True,
+    properties.add_argument("--graphs", default=None,
                             help="directory of .npz / edge-list graphs")
+    properties.add_argument("--graph-store", default=None, metavar="DIR",
+                            help="memory-mapped graph store whose graphs "
+                                 "join --graphs (opened zero-copy)")
     properties.add_argument("--output", required=True,
                             help="directory for the <name>.properties.json "
                                  "files (created if missing)")
@@ -526,6 +649,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-wait-ms", type=float, default=2.0,
                        help="how long the batcher waits for additional "
                             "concurrent requests")
+    serve.add_argument("--graph-store", default=None, metavar="DIR",
+                       help="memory-mapped graph store; lets requests "
+                            "reference stored graphs by 'graph_fingerprint' "
+                            "instead of shipping edge arrays (O(1) "
+                            "cold-start: only meta.json is read up front)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     serve.set_defaults(handler=_command_serve)

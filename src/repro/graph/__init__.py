@@ -17,6 +17,12 @@ from .property_engine import (
     triangle_counts_engine,
 )
 from .io import read_edge_list, write_edge_list, save_npz, load_npz
+from .store import (
+    GraphStore,
+    GraphStoreError,
+    StoredGraphInfo,
+    open_stored_graph,
+)
 
 __all__ = [
     "Graph",
@@ -37,4 +43,8 @@ __all__ = [
     "write_edge_list",
     "save_npz",
     "load_npz",
+    "GraphStore",
+    "GraphStoreError",
+    "StoredGraphInfo",
+    "open_stored_graph",
 ]

@@ -28,6 +28,11 @@ def graph_fingerprint(graph: "Graph") -> str:
     memoize by content without depending on the runtime; re-exported by
     :mod:`repro.runtime.jobs`, whose artifact keys build on it.
     """
+    stored = getattr(graph, "_stored_fingerprint", None)
+    if stored is not None:
+        # Store-backed graphs carry the fingerprint computed at save time,
+        # so fingerprinting is O(1) and never pages in the mapped arrays.
+        return stored
     digest = hashlib.sha256()
     digest.update(b"graph-v1:")
     digest.update(str(graph.num_vertices).encode("ascii"))
@@ -115,10 +120,52 @@ class Graph:
         self.num_vertices = int(num_vertices)
         self.name = name
         self.graph_type = graph_type
+        #: Directory of the on-disk store entry backing this graph's arrays
+        #: (``None`` for in-RAM graphs; see :mod:`repro.graph.store`).
+        self.store_path: Optional[str] = None
+        self._stored_fingerprint: Optional[str] = None
         self._out_adj: Optional[CSRAdjacency] = None
         self._in_adj: Optional[CSRAdjacency] = None
         self._undirected_adj: Optional[CSRAdjacency] = None
         self._undirected_simple_adj: Optional[CSRAdjacency] = None
+
+    @classmethod
+    def from_store(cls, src: np.ndarray, dst: np.ndarray, num_vertices: int,
+                   *, name: str, graph_type: str, store_path: str,
+                   fingerprint: str) -> "Graph":
+        """Construct a store-backed graph from already-validated arrays.
+
+        Used by :func:`repro.graph.store.open_stored_graph`: the regular
+        constructor's bounds checks would read every edge, defeating the
+        O(1) open of a memory-mapped graph.  The store validated the arrays
+        at save time and revalidates file sizes on open, so the checks are
+        skipped here; ``fingerprint`` is the content hash recorded at save
+        time.
+        """
+        graph = cls.__new__(cls)
+        graph.src = src
+        graph.dst = dst
+        graph.num_vertices = int(num_vertices)
+        graph.name = name
+        graph.graph_type = graph_type
+        graph.store_path = store_path
+        graph._stored_fingerprint = fingerprint
+        graph._out_adj = None
+        graph._in_adj = None
+        graph._undirected_adj = None
+        graph._undirected_simple_adj = None
+        return graph
+
+    @property
+    def is_mapped(self) -> bool:
+        """True when the edge arrays are ``np.memmap`` views of a store
+        entry (read-only, page-shared across processes)."""
+        return self.store_path is not None
+
+    @property
+    def stored_fingerprint(self) -> Optional[str]:
+        """Content fingerprint recorded at store-save time (else ``None``)."""
+        return self._stored_fingerprint
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -173,6 +220,17 @@ class Graph:
         if self._in_adj is None:
             self._in_adj = _build_csr(self.dst, self.src, self.num_vertices)
         return self._in_adj
+
+    def csr(self) -> CSRAdjacency:
+        """Alias of :meth:`out_adjacency`.  For store-backed graphs the view
+        is attached from the mapped ``out_*.bin`` files at open time instead
+        of being rebuilt."""
+        return self.out_adjacency()
+
+    def csr_in(self) -> CSRAdjacency:
+        """Alias of :meth:`in_adjacency` (mapped from ``in_*.bin`` when
+        store-backed)."""
+        return self.in_adjacency()
 
     def undirected_adjacency(self) -> CSRAdjacency:
         """CSR adjacency treating every edge as undirected.

@@ -20,8 +20,11 @@ Three implementations:
 * :class:`InlineBackend` — executes on ``submit`` in the calling process,
   sharing the parent's graphs and artifact store (no pickling).
 * :class:`ProcessPoolBackend` — a ``ProcessPoolExecutor`` whose workers
-  receive the graph arrays once via initializer (IPC proportional to the
-  corpus, not the grid).
+  receive the graph descriptions once via initializer.  Store-backed graphs
+  (:mod:`repro.graph.store`) ship as path references that workers re-open as
+  shared memory maps — O(1) IPC per graph and one physical copy of the
+  corpus across the pool; in-RAM graphs fall back to shipping the edge
+  arrays (IPC proportional to the corpus, not the grid).
 * :class:`WorkerPoolBackend` — a shared-directory task queue: envelopes are
   spooled as pickles, external ``repro worker`` processes claim them by
   atomic rename, execute, and ack results back into the directory.  This is
@@ -129,21 +132,54 @@ class InlineBackend(ExecutorBackend):
 # Process pool
 # --------------------------------------------------------------------------- #
 #: Per-worker state installed by :func:`_init_pool_worker`: the graphs of the
-#: current run (keyed by fingerprint) and the cache directory.  Shipping the
-#: edge arrays once per worker instead of once per task keeps the IPC volume
-#: proportional to the corpus, and lets a worker reuse a graph's cached
-#: adjacency views across tasks.
+#: current run (keyed by fingerprint) and the cache directory.  Shipping each
+#: graph once per worker instead of once per task keeps the IPC volume
+#: bounded by the corpus (store-backed graphs ship as O(1) path references),
+#: and lets a worker reuse a graph's cached adjacency views across tasks.
 _WORKER_GRAPHS: Dict[str, Graph] = {}
 _WORKER_STORE: Optional[ArtifactStore] = None
 
 
+#: Tags of the two wire formats of :func:`_graph_to_arrays`.
+_SHIP_STORE = "store"
+_SHIP_ARRAYS = "arrays"
+
+
 def _graph_to_arrays(graph: Graph) -> Tuple:
-    return (graph.src, graph.dst, graph.num_vertices, graph.name,
-            graph.graph_type)
+    """Serialisable description of a graph for shipment to a worker.
+
+    Store-backed graphs (``graph.is_mapped``) ship as a tiny
+    ``(store path, fingerprint)`` reference: the worker re-opens the memory
+    map and shares the parent's OS page cache, so IPC per graph is O(1)
+    instead of O(m) and its precomputed CSR views arrive for free.  The
+    directory must be reachable at the same path in the worker — always
+    true for the local process pool, and the same shared-filesystem
+    contract the worker-queue directory already requires.
+
+    In-RAM graphs fall back to shipping the raw edge arrays.  Cached
+    adjacency views are deliberately *not* shipped on this path: pickling
+    them would multiply the IPC volume by ~4x (out + in + undirected CSR on
+    top of the edges) for structures the worker rebuilds in one vectorized
+    argsort per view — so a fallback worker recomputes ``csr()`` /
+    ``csr_in()`` / ``undirected_simple_csr()`` lazily, on first use.
+    """
+    if graph.is_mapped:
+        return (_SHIP_STORE, graph.store_path, graph.stored_fingerprint,
+                graph.name, graph.graph_type)
+    return (_SHIP_ARRAYS, graph.src, graph.dst, graph.num_vertices,
+            graph.name, graph.graph_type)
 
 
 def _graph_from_arrays(arrays: Tuple) -> Graph:
-    src, dst, num_vertices, name, graph_type = arrays
+    """Rebuild a worker-side graph from :func:`_graph_to_arrays` output."""
+    if arrays[0] == _SHIP_STORE:
+        from ..graph.store import open_stored_graph
+
+        _, store_path, _fingerprint, name, graph_type = arrays
+        # Re-opening attaches the precomputed mapped CSR views, so nothing
+        # the parent already computed is recomputed here.
+        return open_stored_graph(store_path, name=name, graph_type=graph_type)
+    _, src, dst, num_vertices, name, graph_type = arrays
     return Graph(src, dst, num_vertices=num_vertices, name=name,
                  graph_type=graph_type)
 
@@ -244,7 +280,12 @@ class WorkerPoolBackend(ExecutorBackend):
     Queue layout under ``queue_dir``::
 
         config.pkl        run configuration (cache_dir)
-        graphs/<fp>.pkl   graph arrays, written once per content fingerprint
+        graphs/<fp>.pkl   graph description, written once per content
+                          fingerprint: a store-path reference for
+                          store-backed graphs (workers re-open the shared
+                          memory map; the store must be visible at the same
+                          path, like the queue directory itself), or the
+                          pickled edge arrays otherwise
         tasks/<id>.task   spooled envelopes awaiting a worker
         claimed/<id>.task envelopes currently owned by a worker
         results/<id>.result   acked payloads awaiting collection

@@ -25,7 +25,7 @@ class SelectionServiceError(RuntimeError):
         self.message = message
 
 
-def _graph_payload(graph: Union[Graph, GraphProperties, Dict]) -> Dict:
+def _graph_payload(graph: Union[Graph, GraphProperties, Dict, str]) -> Dict:
     if isinstance(graph, GraphProperties):
         return {"properties": graph.as_dict()}
     if isinstance(graph, Graph):
@@ -33,11 +33,14 @@ def _graph_payload(graph: Union[Graph, GraphProperties, Dict]) -> Dict:
                           "dst": graph.dst.tolist(),
                           "num_vertices": graph.num_vertices,
                           "name": graph.name}}
+    if isinstance(graph, str):  # a graph-store content fingerprint
+        return {"graph_fingerprint": graph}
     if isinstance(graph, dict):  # pre-built "graph"/"properties" fragment
         # Copy so the request fields added by select()/predict() never leak
         # into (and persist on) the caller's fragment.
         return dict(graph)
-    raise TypeError("graph must be a Graph, GraphProperties or payload dict")
+    raise TypeError("graph must be a Graph, GraphProperties, payload dict "
+                    "or graph-store fingerprint")
 
 
 class SelectionClient:
@@ -74,7 +77,7 @@ class SelectionClient:
     def models(self) -> Dict:
         return self._request("/v1/models")
 
-    def select(self, graph: Union[Graph, GraphProperties, Dict],
+    def select(self, graph: Union[Graph, GraphProperties, Dict, str],
                algorithm: str, num_partitions: int,
                goal: str = "end_to_end",
                num_iterations: Optional[int] = None) -> Dict:
@@ -85,7 +88,7 @@ class SelectionClient:
             payload["num_iterations"] = num_iterations
         return self._request("/v1/select", payload)
 
-    def predict(self, graph: Union[Graph, GraphProperties, Dict],
+    def predict(self, graph: Union[Graph, GraphProperties, Dict, str],
                 algorithm: str, num_partitions: int,
                 num_iterations: Optional[int] = None) -> Dict:
         payload = _graph_payload(graph)

@@ -8,8 +8,9 @@ Endpoints (all JSON):
     Registry contents (when serving from a registry) or the loaded bundle.
 ``POST /v1/select``
     Body: ``{"graph": {"src": [...], "dst": [...], "num_vertices": n}`` or
-    ``"properties": {...}, "algorithm": "pagerank", "num_partitions": 8,
-    "goal": "end_to_end", "num_iterations": 10}``.
+    ``"properties": {...}`` or ``"graph_fingerprint": "..."`` (requires a
+    service-side graph store), plus ``"algorithm": "pagerank",
+    "num_partitions": 8, "goal": "end_to_end", "num_iterations": 10}``.
     Response: the selected partitioner plus the full per-candidate scores.
 ``POST /v1/predict``
     Same body (``goal`` ignored); response: per-candidate predictions only.
@@ -23,7 +24,7 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -64,15 +65,35 @@ def _selection_payload(result: SelectionResult) -> Dict:
     }
 
 
-def parse_graph_payload(payload: Dict) -> Union[Graph, GraphProperties]:
-    """Extract the graph (or precomputed properties) of a request body."""
+def parse_graph_payload(
+        payload: Dict,
+        resolver: Optional[Callable[[str], Graph]] = None,
+) -> Union[Graph, GraphProperties]:
+    """Extract the graph (or precomputed properties) of a request body.
+
+    ``resolver`` maps a ``graph_fingerprint`` to a stored graph (the HTTP
+    layer passes :meth:`SelectionService.resolve_graph`); without one,
+    fingerprint payloads are rejected.
+    """
     if not isinstance(payload, dict):
         raise BadRequest("request body must be a JSON object")
-    has_graph = "graph" in payload
-    has_properties = "properties" in payload
-    if has_graph == has_properties:
-        raise BadRequest("exactly one of 'graph' and 'properties' is required")
-    if has_properties:
+    sources = [key for key in ("graph", "properties", "graph_fingerprint")
+               if key in payload]
+    if len(sources) != 1:
+        raise BadRequest("exactly one of 'graph', 'properties' and "
+                         "'graph_fingerprint' is required")
+    if sources[0] == "graph_fingerprint":
+        fingerprint = payload["graph_fingerprint"]
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise BadRequest("'graph_fingerprint' must be a non-empty string")
+        if resolver is None:
+            raise BadRequest("this server has no graph store; send 'graph' "
+                             "or 'properties' instead")
+        try:
+            return resolver(fingerprint)
+        except ValueError as error:
+            raise BadRequest(str(error)) from error
+    if sources[0] == "properties":
         if not isinstance(payload["properties"], dict):
             raise BadRequest("'properties' must be an object")
         try:
@@ -92,9 +113,11 @@ def parse_graph_payload(payload: Dict) -> Union[Graph, GraphProperties]:
         raise BadRequest(f"invalid graph: {error}") from error
 
 
-def parse_job_payload(payload: Dict, require_goal: bool) -> Dict:
+def parse_job_payload(payload: Dict, require_goal: bool,
+                      resolver: Optional[Callable[[str], Graph]] = None,
+                      ) -> Dict:
     """Validate and normalise a select/predict request body."""
-    graph = parse_graph_payload(payload)
+    graph = parse_graph_payload(payload, resolver=resolver)
     algorithm = payload.get("algorithm")
     if not isinstance(algorithm, str) or not algorithm:
         raise BadRequest("'algorithm' is required")
@@ -172,9 +195,13 @@ class _SelectionRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._send_error_json(400, str(error))
             return
+        resolver = None
+        if self.server.service.graph_store is not None:
+            resolver = self.server.service.resolve_graph
         try:
             job = parse_job_payload(payload,
-                                    require_goal=self.path == "/v1/select")
+                                    require_goal=self.path == "/v1/select",
+                                    resolver=resolver)
         except BadRequest as error:
             self._send_error_json(400, str(error))
             return

@@ -37,7 +37,13 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..graph import Graph, GraphProperties, compute_properties_batch
+from ..graph import (
+    Graph,
+    GraphProperties,
+    GraphStore,
+    GraphStoreError,
+    compute_properties_batch,
+)
 from ..ease.pipeline import EASE
 from ..ease.selector import (
     OptimizationGoal,
@@ -114,6 +120,12 @@ class SelectionService:
     result_cache_size:
         Number of memoized :class:`SelectionResult` entries (LRU by request
         key); ``0`` disables result caching.
+    graph_store:
+        Optional :class:`~repro.graph.GraphStore` (or its root directory)
+        backing :meth:`resolve_graph`: requests may then reference stored
+        graphs by content fingerprint instead of shipping edge arrays, and
+        the first hit on a huge graph memory-maps it in O(1) instead of
+        loading O(m) bytes (the ``--graph-store`` serving cold-start path).
 
     The micro-batcher only runs between :meth:`start` and :meth:`stop` (or
     inside a ``with`` block); an unstarted service executes every request
@@ -126,7 +138,8 @@ class SelectionService:
                  max_batch_size: int = 64,
                  batch_wait_seconds: float = 0.002,
                  property_cache_size: int = 1024,
-                 result_cache_size: int = 4096) -> None:
+                 result_cache_size: int = 4096,
+                 graph_store: Optional[Union[GraphStore, str]] = None) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_wait_seconds < 0:
@@ -139,6 +152,13 @@ class SelectionService:
         self.batch_wait_seconds = batch_wait_seconds
         self.property_cache_size = property_cache_size
         self.result_cache_size = result_cache_size
+        if isinstance(graph_store, str):
+            graph_store = GraphStore(graph_store)
+        self.graph_store = graph_store
+        #: Opened store-backed graphs by fingerprint.  Opening is O(1), but
+        #: reusing the object keeps one mapping (and one set of attached CSR
+        #: views) per graph instead of one per request.
+        self._open_graphs: "OrderedDict[str, Graph]" = OrderedDict()
         self.stats = ServiceStats()
         self.started_at = time.time()
         self._properties: "OrderedDict[str, GraphProperties]" = OrderedDict()
@@ -231,6 +251,39 @@ class SelectionService:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Graph-store resolution
+    # ------------------------------------------------------------------ #
+    #: Bound of the opened-graph LRU (mappings are cheap; this only caps
+    #: file-descriptor usage on stores with many graphs).
+    _OPEN_GRAPH_CACHE_SIZE = 128
+
+    def resolve_graph(self, fingerprint: str) -> Graph:
+        """Open a stored graph by content fingerprint (O(1) memory-map).
+
+        Raises :class:`ValueError` when no graph store is configured or the
+        fingerprint is unknown — the errors the HTTP layer maps to 400.
+        """
+        if self.graph_store is None:
+            raise ValueError(
+                "graph fingerprints require a configured graph store "
+                "(serve with --graph-store)")
+        with self._lock:
+            cached = self._open_graphs.get(fingerprint)
+            if cached is not None:
+                self._open_graphs.move_to_end(fingerprint)
+                return cached
+        try:
+            graph = self.graph_store.open(fingerprint)
+        except GraphStoreError as error:
+            raise ValueError(str(error)) from error
+        with self._lock:
+            self._open_graphs[fingerprint] = graph
+            self._open_graphs.move_to_end(fingerprint)
+            while len(self._open_graphs) > self._OPEN_GRAPH_CACHE_SIZE:
+                self._open_graphs.popitem(last=False)
+        return graph
 
     # ------------------------------------------------------------------ #
     # Property memoization
