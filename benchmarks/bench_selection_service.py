@@ -17,14 +17,35 @@ Batched and sequential answers are asserted identical (same selected
 partitioner per request), and the full run asserts micro-batched throughput
 >= MIN_BATCHED_SPEEDUP x the sequential baseline at concurrency >= 8.
 
+A second benchmark drives the *whole* serving stack — prefork HTTP workers,
+request core, admission gate — with a **multi-process load generator** and
+asserts operational SLOs rather than throughput geomeans:
+
+* **capacity phase**: N generator processes against a 2-worker prefork
+  server with no admission limit; every request must succeed and the p50 /
+  p99 request latencies must meet the SLO bounds;
+* **overload phase**: the same generators against a deliberately starved
+  server (``--max-inflight 1``, slow batcher, result cache defeated), which
+  must shed deterministically: 429 responses observed, every one carrying
+  ``Retry-After``, successes still completing, and the shed counter visible
+  on ``/healthz``.
+
 Runs both as a pytest benchmark and as a script; ``--quick`` is the CI smoke
-mode (tiny model, equality assertions only, no timing thresholds).
+mode (tiny model, equality + SLO-shape assertions with relaxed bounds).
 """
 
 import argparse
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
 import sys
+import tempfile
 import threading
 import time
+import urllib.error
+import urllib.request
 
 try:
     import pytest
@@ -54,6 +75,20 @@ ASSERTED_CONCURRENCY = 8
 
 QUICK_CONCURRENCY_SWEEP = (1, 4)
 QUICK_REQUESTS_PER_LEVEL = 24
+
+# Load-generator settings: (processes, requests per process) and the p50/p99
+# latency SLOs of the capacity phase.  Full-run bounds are loopback-generous
+# (selection is a sub-ms model query; the bound catches order-of-magnitude
+# regressions like a lost micro-batcher or an accept stall, not jitter);
+# quick mode relaxes them further for loaded CI machines.
+LOAD_PROCESSES = 4
+LOAD_REQUESTS_PER_PROCESS = 50
+P50_SLO_SECONDS = 0.5
+P99_SLO_SECONDS = 2.5
+QUICK_LOAD_PROCESSES = 3
+QUICK_LOAD_REQUESTS_PER_PROCESS = 15
+QUICK_P50_SLO_SECONDS = 2.0
+QUICK_P99_SLO_SECONDS = 10.0
 
 
 def _train_system(num_graphs: int = 4):
@@ -180,6 +215,191 @@ def run_benchmark(concurrency_sweep, requests_per_level: int,
     return speedup_at
 
 
+# --------------------------------------------------------------------------- #
+# Multi-process load generation against the full serving stack
+# --------------------------------------------------------------------------- #
+def _serve_subprocess(bundle_path: str, extra_args):
+    """Launch ``repro serve`` on a free port; returns (process, url)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--model", bundle_path,
+         "--port", "0"] + list(extra_args),
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    url = [None]
+
+    def find_url():
+        for line in process.stdout:
+            if " on http://" in line:
+                url[0] = line.rsplit(" on ", 1)[1].strip()
+                return
+
+    reader = threading.Thread(target=find_url, daemon=True)
+    reader.start()
+    reader.join(timeout=60)
+    if not url[0]:
+        process.kill()
+        process.wait()
+        raise AssertionError("serve subprocess never announced its URL")
+    return process, url[0]
+
+
+def _stop_subprocess(process) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+
+
+def _load_worker(url: str, payloads, out_queue) -> None:
+    """One generator process: POST every payload, record per-request
+    (status, latency_seconds, has_retry_after)."""
+    samples = []
+    for payload in payloads:
+        data = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{url}/v1/select", data=data,
+            headers={"Content-Type": "application/json"})
+        start = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                response.read()
+                status = response.status
+                has_retry_after = False
+        except urllib.error.HTTPError as error:
+            error.read()
+            status = error.code
+            has_retry_after = error.headers.get("Retry-After") is not None
+        samples.append((status, time.perf_counter() - start,
+                        has_retry_after))
+    out_queue.put(samples)
+
+
+def _run_load(url: str, processes: int, requests_per_process: int,
+              unique_jobs: bool):
+    """Fan ``processes`` generator processes at ``url``; returns samples.
+
+    ``unique_jobs`` gives every request a distinct ``num_iterations`` so the
+    service's result cache cannot absorb the load (the overload phase must
+    hit the admission gate, not the cache).
+    """
+    properties = _request_grid(1)[0][0].as_dict()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else None)
+    out_queue = context.Queue()
+    workers = []
+    for rank in range(processes):
+        payloads = []
+        for index in range(requests_per_process):
+            payload = {"properties": properties, "algorithm": "pagerank",
+                       "num_partitions": 2 + (index % 3),
+                       "goal": "end_to_end"}
+            if unique_jobs:
+                payload["num_iterations"] = \
+                    1 + rank * requests_per_process + index
+            payloads.append(payload)
+        workers.append(context.Process(target=_load_worker,
+                                       args=(url, payloads, out_queue)))
+    for worker in workers:
+        worker.start()
+    samples = []
+    for _ in workers:
+        samples.extend(out_queue.get(timeout=300))
+    for worker in workers:
+        worker.join(timeout=60)
+    return samples
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    return sorted_values[min(len(sorted_values) - 1,
+                             int(fraction * len(sorted_values)))]
+
+
+def _healthz(url: str) -> dict:
+    with urllib.request.urlopen(f"{url}/healthz", timeout=30) as response:
+        return json.loads(response.read())
+
+
+def run_load_benchmark(processes: int, requests_per_process: int,
+                       p50_slo: float, p99_slo: float):
+    """Capacity + overload phases against the prefork serving stack."""
+    system = cached("selection_service_model", _train_system)
+    from repro.ease.persistence import save_ease
+
+    fd, bundle = tempfile.mkstemp(suffix=".pkl")
+    os.close(fd)
+    rows = []
+    try:
+        save_ease(system, bundle)
+
+        # ---- capacity: 2 prefork workers, no admission limit ---------- #
+        process, url = _serve_subprocess(
+            bundle, ["--workers", "2", "--batch-wait-ms", "1"])
+        try:
+            samples = _run_load(url, processes, requests_per_process,
+                                unique_jobs=False)
+        finally:
+            _stop_subprocess(process)
+        statuses = [status for status, _, _ in samples]
+        latencies = sorted(latency for _, latency, _ in samples)
+        p50 = _percentile(latencies, 0.50)
+        p99 = _percentile(latencies, 0.99)
+        rows.append(("capacity", processes * requests_per_process,
+                     statuses.count(200), statuses.count(429), p50, p99))
+        assert statuses.count(200) == len(statuses), (
+            f"capacity phase had non-200 responses: "
+            f"{sorted(set(statuses))}")
+        assert p50 <= p50_slo, f"p50 {p50:.3f}s over SLO {p50_slo}s"
+        assert p99 <= p99_slo, f"p99 {p99:.3f}s over SLO {p99_slo}s"
+
+        # ---- overload: 1 starved worker, 1-slot admission gate -------- #
+        process, url = _serve_subprocess(
+            bundle, ["--workers", "1", "--max-inflight", "1",
+                     "--batch-wait-ms", "50"])
+        try:
+            samples = _run_load(url, processes, requests_per_process,
+                                unique_jobs=True)
+            health = _healthz(url)
+        finally:
+            _stop_subprocess(process)
+        statuses = [status for status, _, _ in samples]
+        shed = [(status, has_retry) for status, _, has_retry in samples
+                if status == 429]
+        latencies = sorted(latency for _, latency, _ in samples)
+        rows.append(("overload", processes * requests_per_process,
+                     statuses.count(200), len(shed),
+                     _percentile(latencies, 0.50),
+                     _percentile(latencies, 0.99)))
+        assert set(statuses) <= {200, 429}, (
+            f"overload produced unexpected statuses {sorted(set(statuses))}")
+        assert statuses.count(200) >= 1, "overload starved every request"
+        assert shed, ("a 1-slot admission gate under "
+                      f"{processes} generator processes shed nothing")
+        assert all(has_retry for _, has_retry in shed), \
+            "a 429 response was missing its Retry-After header"
+        assert health["admission"]["shed_total"] >= len(shed) / 2, (
+            "/healthz shed counter does not reflect the observed sheds: "
+            f"{health['admission']}")
+    finally:
+        os.remove(bundle)
+
+    table = format_table(
+        ("phase", "requests", "200s", "429s", "p50 (s)", "p99 (s)"),
+        rows,
+        title=f"Serving-stack load generation: {processes} generator "
+              f"processes x {requests_per_process} requests; capacity = 2 "
+              f"prefork workers (SLO p50 <= {p50_slo}s, p99 <= {p99_slo}s, "
+              "zero sheds allowed); overload = 1 worker with a 1-slot "
+              "admission gate (sheds required, Retry-After asserted on "
+              "every 429)")
+    report("selection_service_load", table)
+
+
 if pytest is not None:
     @pytest.mark.benchmark(group="selection_service")
     def test_selection_service_throughput(benchmark):
@@ -199,10 +419,15 @@ def main(argv=None) -> int:
     if args.quick:
         run_benchmark(QUICK_CONCURRENCY_SWEEP, QUICK_REQUESTS_PER_LEVEL,
                       check_speedup=False, repeats=1)
+        run_load_benchmark(QUICK_LOAD_PROCESSES,
+                           QUICK_LOAD_REQUESTS_PER_PROCESS,
+                           QUICK_P50_SLO_SECONDS, QUICK_P99_SLO_SECONDS)
         print("quick smoke passed: micro-batched selections identical to "
-              "sequential")
+              "sequential; load-generator SLOs and 429 shedding asserted")
     else:
         run_benchmark(CONCURRENCY_SWEEP, REQUESTS_PER_LEVEL)
+        run_load_benchmark(LOAD_PROCESSES, LOAD_REQUESTS_PER_PROCESS,
+                           P50_SLO_SECONDS, P99_SLO_SECONDS)
     return 0
 
 

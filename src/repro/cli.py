@@ -375,36 +375,83 @@ def _command_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_router(args: argparse.Namespace):
+    """ModelRouter (+ registry, if any) from --model specs or --registry."""
+    from .serving import ModelRegistry, ModelRouter, parse_model_spec
+
+    registry = ModelRegistry(args.registry) if args.registry else None
+    specs = []
+    for raw in args.model or ():
+        if "=" in raw:
+            specs.append(parse_model_spec(raw))
+        else:
+            # Backward-compatible single-model form: a bare bundle path (or
+            # registry name) serves as the default tag.
+            specs.append(("default", raw))
+    if not specs:
+        if registry is None:
+            raise SystemExit(
+                "either --model or --registry/--name is required")
+        if not args.name:
+            raise SystemExit("--name is required with --registry")
+        ref = f"@{args.ref}" if args.ref else ""
+        specs.append(("default", f"{args.name}{ref}"))
+    router = ModelRouter.from_specs(
+        specs, registry=registry, default=args.default_model,
+        graph_store=args.graph_store,
+        watch_interval=args.watch_interval,
+        max_batch_size=args.max_batch_size,
+        batch_wait_seconds=args.batch_wait_ms / 1000.0,
+        max_inflight=args.max_inflight)
+    return router, registry
+
+
 def _command_serve(args: argparse.Namespace) -> int:
-    from .serving import SelectionHTTPServer
+    from .serving import PreforkFrontend, SelectionHTTPServer
 
     if args.graph_store and not os.path.isdir(args.graph_store):
         raise SystemExit(f"graph store {args.graph_store!r} does not exist")
-    # Batching knobs go through the constructor so its validation applies.
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    # Model/batching knobs go through the constructors so their validation
+    # applies.
     try:
-        service, registry = _build_service(
-            args, max_batch_size=args.max_batch_size,
-            batch_wait_seconds=args.batch_wait_ms / 1000.0,
-            graph_store=args.graph_store)
-    except ValueError as error:
+        router, registry = _build_router(args)
+    except (KeyError, ValueError) as error:
         raise SystemExit(str(error))
-    server = SelectionHTTPServer(service, registry=registry, host=args.host,
-                                 port=args.port, verbose=args.verbose)
-    info = service.model_info
-    # server.url reports the actually bound port (--port 0 picks a free one)
+    if args.workers > 1:
+        front = PreforkFrontend(router, registry=registry, host=args.host,
+                                port=args.port, workers=args.workers,
+                                verbose=args.verbose)
+        url, closer = front.url, front.shutdown
+    else:
+        front = SelectionHTTPServer(router, registry=registry,
+                                    host=args.host, port=args.port,
+                                    verbose=args.verbose)
+        url, closer = front.url, front.server_close
+    info = router.default_service.model_info
+    # The url reports the actually bound port (--port 0 picks a free one);
+    # flush so a load generator reading our pipe sees it before traffic.
     print(f"serving model {info.get('name')!r} version {info.get('version')} "
-          f"on {server.url}")
+          f"on {url}", flush=True)
+    if len(router.services) > 1:
+        print(f"models: {', '.join(router.tags())} "
+              f"(default: {router.default_tag}; route with the 'model' "
+              f"field or X-Repro-Model header)", flush=True)
+    if args.workers > 1:
+        print(f"workers: {args.workers} processes on one shared listener",
+              flush=True)
     if args.graph_store:
         print(f"graph store: {args.graph_store} (requests may send "
-              f"'graph_fingerprint' instead of edge arrays)")
+              f"'graph_fingerprint' instead of edge arrays)", flush=True)
     print("endpoints: POST /v1/select  POST /v1/predict  GET /v1/models  "
-          "GET /healthz")
+          "GET /healthz", flush=True)
     try:
-        server.serve_forever()
+        front.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
+        closer()
     return 0
 
 
@@ -640,15 +687,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="run the HTTP selection server "
                       "(micro-batched /v1/select, /v1/predict)")
-    _add_model_source_arguments(serve, model_required=False)
+    serve.add_argument("--model", action="append", default=None,
+                       metavar="[TAG=]SPEC",
+                       help="model to serve: a bundle file, a registry "
+                            "NAME[@REF] (with --registry), or TAG=SPEC to "
+                            "serve several models routed by the 'model' "
+                            "request field / X-Repro-Model header "
+                            "(repeatable, e.g. --model prod=ease@production "
+                            "--model canary=ease@canary)")
+    serve.add_argument("--registry", default=None,
+                       help="model registry directory backing NAME[@REF] "
+                            "specs and /v1/models")
+    serve.add_argument("--name", default=None,
+                       help="registry model name (single-model shorthand "
+                            "for --model NAME)")
+    serve.add_argument("--ref", default=None,
+                       help="registry version id, prefix or tag (default: "
+                            "the production tag, falling back to the "
+                            "newest version)")
+    serve.add_argument("--default-model", default=None, metavar="TAG",
+                       help="tag served when a request names no model "
+                            "(default: the first --model)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 picks a free port)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="HTTP worker processes forked over one shared "
+                            "listening socket (model pages are "
+                            "copy-on-write shared; default: 1, in-process)")
     serve.add_argument("--max-batch-size", type=int, default=64,
                        help="upper bound of one coalesced micro-batch")
     serve.add_argument("--batch-wait-ms", type=float, default=2.0,
                        help="how long the batcher waits for additional "
                             "concurrent requests")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="admission limit per model and worker process: "
+                            "requests beyond this many in flight are shed "
+                            "with 429 + Retry-After (default: unlimited)")
+    serve.add_argument("--watch-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="poll the registry this often and auto-reload "
+                            "models whose tag moved ('repro models promote' "
+                            "rolls out without restarts; default: disabled)")
     serve.add_argument("--graph-store", default=None, metavar="DIR",
                        help="memory-mapped graph store; lets requests "
                             "reference stored graphs by 'graph_fingerprint' "

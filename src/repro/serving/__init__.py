@@ -2,28 +2,56 @@
 
 Once the predictors are trained, partitioner selection is a sub-second model
 query — this package keeps trained EASE bundles resident, versioned and
-answerable at high request rates:
+answerable at high request rates.  The stack is four explicit layers (top to
+bottom):
 
-* :mod:`repro.serving.registry` — content-hashed, versioned model bundles on
-  disk with tags and training provenance;
+* :mod:`repro.serving.frontend` — prefork pool: N forked HTTP worker
+  processes accepting from one shared listening socket, model pages
+  copy-on-write shared, graph store mmap-shared;
+* :mod:`repro.serving.http` — the stdlib HTTP adapter: request framing and
+  keep-alive hygiene only, no request semantics;
+* :mod:`repro.serving.core` — the transport-agnostic request core: payload
+  validation, model routing, admission control (429 + ``Retry-After``
+  shedding), response payloads;
+* :mod:`repro.serving.router` — N named :class:`SelectionService` instances
+  routed by request field/header, sharing one graph-store LRU, with a
+  background registry tag watcher rolling out promotes;
 * :mod:`repro.serving.service` — the in-process service core: property
-  memoization and a micro-batching queue that coalesces concurrent requests
-  into single vectorized predictor calls;
-* :mod:`repro.serving.http` — a stdlib JSON/HTTP frontend;
-* :mod:`repro.serving.client` — a thin client for that frontend.
+  memoization, a bounded admission gate, and a micro-batching queue that
+  coalesces concurrent requests into single vectorized predictor calls;
+
+plus :mod:`repro.serving.registry` (content-hashed, versioned model bundles
+on disk with tags and training provenance) and
+:mod:`repro.serving.client` (a thin retrying client for the HTTP frontend).
 """
 
 from .registry import ModelRegistry, ModelVersion, dataset_fingerprint
-from .service import SelectionService, ServiceStats
+from .service import (
+    AdmissionGate,
+    GraphResolver,
+    SelectionService,
+    ServiceStats,
+)
+from .router import ModelRouter, parse_model_spec
+from .core import BadRequest, RequestCore, Response
 from .http import SelectionHTTPServer
+from .frontend import PreforkFrontend
 from .client import SelectionClient
 
 __all__ = [
+    "AdmissionGate",
+    "BadRequest",
+    "GraphResolver",
     "ModelRegistry",
+    "ModelRouter",
     "ModelVersion",
-    "dataset_fingerprint",
+    "PreforkFrontend",
+    "RequestCore",
+    "Response",
+    "SelectionClient",
+    "SelectionHTTPServer",
     "SelectionService",
     "ServiceStats",
-    "SelectionHTTPServer",
-    "SelectionClient",
+    "dataset_fingerprint",
+    "parse_model_spec",
 ]

@@ -1,144 +1,41 @@
-"""Stdlib HTTP/JSON frontend of the selection service.
+"""Stdlib HTTP adapter over the transport-agnostic request core.
 
-Endpoints (all JSON):
-
-``GET /healthz``
-    Liveness: model identity, uptime, batching state, request stats.
-``GET /v1/models``
-    Registry contents (when serving from a registry) or the loaded bundle.
-``POST /v1/select``
-    Body: ``{"graph": {"src": [...], "dst": [...], "num_vertices": n}`` or
-    ``"properties": {...}`` or ``"graph_fingerprint": "..."`` (requires a
-    service-side graph store), plus ``"algorithm": "pagerank",
-    "num_partitions": 8, "goal": "end_to_end", "num_iterations": 10}``.
-    Response: the selected partitioner plus the full per-candidate scores.
-``POST /v1/predict``
-    Same body (``goal`` ignored); response: per-candidate predictions only.
+This module owns *only* the wire: reading HTTP/1.1 request framing
+(Content-Length bounded bodies), writing status lines and headers, and
+keep-alive hygiene.  Everything about what a request *means* — routing,
+payload validation, admission control, response payloads — lives in
+:class:`repro.serving.core.RequestCore`; see that module for the endpoint
+documentation.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per
 connection, which is exactly the concurrency the service's micro-batcher
-coalesces.  No dependencies beyond the standard library.
+coalesces.  A :class:`~repro.serving.frontend.PreforkFrontend` runs N of
+these processes over one shared listening socket.  No dependencies beyond
+the standard library.
 """
 
 from __future__ import annotations
 
-import json
+import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
+from urllib.parse import urlsplit
 
-import numpy as np
-
-from ..graph import Graph, GraphProperties
-from ..ease.selector import OptimizationGoal, PartitionerScore, SelectionResult
 from .registry import ModelRegistry
+from .router import ModelRouter
 from .service import SelectionService
+# Re-exported for backward compatibility: these lived here before the
+# request core was split out, and callers import them from this module.
+from .core import (  # noqa: F401
+    MAX_BODY_BYTES,
+    BadRequest,
+    RequestCore,
+    Response,
+    parse_graph_payload,
+    parse_job_payload,
+)
 
 __all__ = ["SelectionHTTPServer"]
-
-#: Request payloads above this size are rejected (a graph of ~2M edges as
-#: JSON; callers with bigger graphs should send precomputed properties).
-MAX_BODY_BYTES = 64 * 1024 * 1024
-
-
-class BadRequest(ValueError):
-    """Raised for malformed request payloads (mapped to HTTP 400)."""
-
-
-def _score_payload(score: PartitionerScore) -> Dict:
-    return {
-        "partitioner": score.partitioner,
-        "predicted_partitioning_seconds": score.predicted_partitioning_seconds,
-        "predicted_processing_seconds": score.predicted_processing_seconds,
-        "predicted_end_to_end_seconds": score.predicted_end_to_end_seconds,
-        "predicted_quality": score.predicted_quality,
-    }
-
-
-def _selection_payload(result: SelectionResult) -> Dict:
-    return {
-        "selected": result.selected,
-        "goal": result.goal,
-        "algorithm": result.algorithm,
-        "num_partitions": result.num_partitions,
-        "ranking": [score.partitioner for score in result.ranking()],
-        "scores": [_score_payload(score) for score in result.scores],
-    }
-
-
-def parse_graph_payload(
-        payload: Dict,
-        resolver: Optional[Callable[[str], Graph]] = None,
-) -> Union[Graph, GraphProperties]:
-    """Extract the graph (or precomputed properties) of a request body.
-
-    ``resolver`` maps a ``graph_fingerprint`` to a stored graph (the HTTP
-    layer passes :meth:`SelectionService.resolve_graph`); without one,
-    fingerprint payloads are rejected.
-    """
-    if not isinstance(payload, dict):
-        raise BadRequest("request body must be a JSON object")
-    sources = [key for key in ("graph", "properties", "graph_fingerprint")
-               if key in payload]
-    if len(sources) != 1:
-        raise BadRequest("exactly one of 'graph', 'properties' and "
-                         "'graph_fingerprint' is required")
-    if sources[0] == "graph_fingerprint":
-        fingerprint = payload["graph_fingerprint"]
-        if not isinstance(fingerprint, str) or not fingerprint:
-            raise BadRequest("'graph_fingerprint' must be a non-empty string")
-        if resolver is None:
-            raise BadRequest("this server has no graph store; send 'graph' "
-                             "or 'properties' instead")
-        try:
-            return resolver(fingerprint)
-        except ValueError as error:
-            raise BadRequest(str(error)) from error
-    if sources[0] == "properties":
-        if not isinstance(payload["properties"], dict):
-            raise BadRequest("'properties' must be an object")
-        try:
-            return GraphProperties.from_dict(payload["properties"])
-        except (TypeError, ValueError) as error:
-            raise BadRequest(f"invalid properties: {error}") from error
-    graph = payload["graph"]
-    if not isinstance(graph, dict) or "src" not in graph or "dst" not in graph:
-        raise BadRequest("'graph' must be an object with 'src' and 'dst' "
-                         "edge arrays")
-    try:
-        return Graph(np.asarray(graph["src"], dtype=np.int64),
-                     np.asarray(graph["dst"], dtype=np.int64),
-                     num_vertices=graph.get("num_vertices"),
-                     name=str(graph.get("name", "request-graph")))
-    except (TypeError, ValueError) as error:
-        raise BadRequest(f"invalid graph: {error}") from error
-
-
-def parse_job_payload(payload: Dict, require_goal: bool,
-                      resolver: Optional[Callable[[str], Graph]] = None,
-                      ) -> Dict:
-    """Validate and normalise a select/predict request body."""
-    graph = parse_graph_payload(payload, resolver=resolver)
-    algorithm = payload.get("algorithm")
-    if not isinstance(algorithm, str) or not algorithm:
-        raise BadRequest("'algorithm' is required")
-    num_partitions = payload.get("num_partitions")
-    if not isinstance(num_partitions, int) or isinstance(num_partitions, bool) \
-            or num_partitions < 1:
-        raise BadRequest("'num_partitions' must be a positive integer")
-    goal = payload.get("goal", OptimizationGoal.END_TO_END)
-    if require_goal:
-        try:
-            OptimizationGoal.validate(goal)
-        except ValueError as error:
-            raise BadRequest(str(error)) from error
-    num_iterations = payload.get("num_iterations")
-    if num_iterations is not None and (
-            not isinstance(num_iterations, int)
-            or isinstance(num_iterations, bool) or num_iterations < 1):
-        raise BadRequest("'num_iterations' must be a positive integer")
-    return {"graph": graph, "algorithm": algorithm,
-            "num_partitions": num_partitions, "goal": goal,
-            "num_iterations": num_iterations}
 
 
 class _SelectionRequestHandler(BaseHTTPRequestHandler):
@@ -146,18 +43,24 @@ class _SelectionRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     # ------------------------------------------------------------------ #
-    def _send_json(self, status: int, payload: Dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
+    def _write_response(self, response: Response) -> None:
+        body = response.body()
+        if response.close_connection:
+            self.close_connection = True
+        self.send_response(response.status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        if response.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
-
-    def _read_json(self) -> Dict:
+    def _read_body(self) -> bytes:
+        """Read the framed request body; raises :class:`BadRequest` (with
+        connection close — unread bytes would desync the keep-alive stream)
+        on bad framing."""
         length = self.headers.get("Content-Length")
         if length is None:
             raise BadRequest("Content-Length header is required")
@@ -167,70 +70,27 @@ class _SelectionRequestHandler(BaseHTTPRequestHandler):
             raise BadRequest("invalid Content-Length") from error
         if length < 0 or length > MAX_BODY_BYTES:
             raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        body = self.rfile.read(length)
-        try:
-            return json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise BadRequest(f"request body is not valid JSON: {error}") \
-                from error
+        return self.rfile.read(length)
 
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
-            self._send_json(200, self.server.service.health())
-        elif self.path == "/v1/models":
-            self._send_json(200, self.server.models_payload())
-        else:
-            self._send_error_json(404, f"unknown path {self.path!r}")
+        parts = urlsplit(self.path)
+        self._write_response(self.server.core.handle(
+            "GET", parts.path, query=parts.query, headers=self.headers))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path not in ("/v1/select", "/v1/predict"):
-            self._send_error_json(404, f"unknown path {self.path!r}")
-            return
+        parts = urlsplit(self.path)
         try:
-            payload = self._read_json()
+            body = self._read_body()
         except BadRequest as error:
             # The body was not (fully) read, so the bytes left on the wire
             # would desync the next request of a keep-alive connection.
-            self.close_connection = True
-            self._send_error_json(400, str(error))
+            self._write_response(self.server.core.error(
+                400, str(error), close_connection=True))
             return
-        resolver = None
-        if self.server.service.graph_store is not None:
-            resolver = self.server.service.resolve_graph
-        try:
-            job = parse_job_payload(payload,
-                                    require_goal=self.path == "/v1/select",
-                                    resolver=resolver)
-        except BadRequest as error:
-            self._send_error_json(400, str(error))
-            return
-        service = self.server.service
-        # Only the service call sits in the try: a failed 200 write must
-        # propagate to the handler base class, not trigger a second (500)
-        # response on the same keep-alive stream.
-        try:
-            if self.path == "/v1/select":
-                result = service.select(
-                    job["graph"], job["algorithm"], job["num_partitions"],
-                    goal=job["goal"], num_iterations=job["num_iterations"])
-                payload = _selection_payload(result)
-            else:
-                scores = service.predict(
-                    job["graph"], job["algorithm"], job["num_partitions"],
-                    num_iterations=job["num_iterations"])
-                payload = {
-                    "algorithm": job["algorithm"],
-                    "num_partitions": job["num_partitions"],
-                    "predictions": [_score_payload(s) for s in scores]}
-        except ValueError as error:
-            # e.g. an algorithm without a trained model
-            self._send_error_json(400, str(error))
-            return
-        except Exception as error:  # pragma: no cover - defensive
-            self._send_error_json(500, f"internal error: {error}")
-            return
-        self._send_json(200, payload)
+        self._write_response(self.server.core.handle(
+            "POST", parts.path, query=parts.query, headers=self.headers,
+            body=body))
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:  # pragma: no cover - log formatting
@@ -238,32 +98,60 @@ class _SelectionRequestHandler(BaseHTTPRequestHandler):
 
 
 class SelectionHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server wrapping a :class:`SelectionService`.
+    """Threaded HTTP server over a :class:`SelectionService` or
+    :class:`ModelRouter`.
 
     Parameters
     ----------
     service:
-        The service to expose.  Its micro-batching worker is started by
+        The service (wrapped in a single-tag router) or multi-model router
+        to expose.  Micro-batching workers are started by
         :meth:`serve_forever` (and by entering the context manager).
     registry:
         Optional registry backing ``/v1/models``; without one the endpoint
-        describes only the loaded model.
+        describes only the loaded models.
     host, port:
         Bind address; port ``0`` picks a free port (see :attr:`url`).
+    listen_socket:
+        An already-bound, already-listening socket to adopt instead of
+        binding ``(host, port)`` — the prefork frontend binds once in the
+        parent and passes the inherited socket to each forked worker's
+        server, so all workers accept from one shared queue.
     """
 
     daemon_threads = True
 
-    def __init__(self, service: SelectionService,
+    def __init__(self, service: Union[SelectionService, ModelRouter],
                  registry: Optional[ModelRegistry] = None,
                  host: str = "127.0.0.1", port: int = 8080,
-                 verbose: bool = False) -> None:
-        super().__init__((host, port), _SelectionRequestHandler)
-        self.service = service
+                 verbose: bool = False,
+                 listen_socket: Optional[socket.socket] = None) -> None:
+        if isinstance(service, ModelRouter):
+            self.router = service
+        else:
+            self.router = ModelRouter({"default": service})
+        self.core = RequestCore(self.router, registry=registry)
         self.registry = registry
         self.verbose = verbose
+        if listen_socket is None:
+            super().__init__((host, port), _SelectionRequestHandler)
+        else:
+            super().__init__(listen_socket.getsockname(),
+                             _SelectionRequestHandler,
+                             bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = self.socket.getsockname()
+            # server_bind (skipped above) normally fills these.
+            self.server_name = self.server_address[0]
+            self.server_port = self.server_address[1]
 
     # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> SelectionService:
+        """The default-tag service (single-model compatibility surface)."""
+        return self.router.default_service
+
     @property
     def address(self) -> Tuple[str, int]:
         return self.server_address[0], self.server_address[1]
@@ -274,28 +162,20 @@ class SelectionHTTPServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def models_payload(self) -> Dict:
-        loaded = {key: self.service.model_info.get(key)
-                  for key in ("name", "version", "tags", "source")}
-        if self.registry is None:
-            return {"loaded": loaded, "models": []}
-        models: List[Dict] = []
-        for entry in self.registry.list_models():
-            models.append({"name": entry.name, "version": entry.version,
-                           "tags": entry.tags, "manifest": entry.manifest})
-        return {"loaded": loaded, "models": models}
+        return self.core.models_response().payload
 
     # ------------------------------------------------------------------ #
     def serve_forever(self, poll_interval: float = 0.5) -> None:
-        self.service.start()
+        self.router.start()
         try:
             super().serve_forever(poll_interval=poll_interval)
         finally:
-            self.service.stop()
+            self.router.stop()
 
     def __enter__(self) -> "SelectionHTTPServer":
-        self.service.start()
+        self.router.start()
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.server_close()
-        self.service.stop()
+        self.router.stop()

@@ -1,0 +1,245 @@
+"""Multi-model routing layer of the serving stack.
+
+A :class:`ModelRouter` holds N named :class:`SelectionService` instances —
+one per routing tag, e.g. ``prod`` and ``canary`` — behind one request core.
+Requests pick a model with the ``model`` body field or the ``X-Repro-Model``
+header; everything else falls through to the default tag, so a single-model
+deployment behaves exactly like the pre-router server.
+
+Two pieces of shared state make N models cheap:
+
+* all services constructed through :meth:`ModelRouter.from_specs` share one
+  :class:`~repro.serving.service.GraphResolver` (one open-graph LRU over one
+  memory-mapped graph store), so serving two tags does not double the mapped
+  graphs;
+* an optional background **tag watcher** polls the registry tag heads every
+  ``watch_interval`` seconds and calls
+  :meth:`SelectionService.reload_from_registry` on each registry-backed
+  service, so a ``repro models promote`` rolls out to every worker without
+  operator intervention.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .registry import ModelRegistry
+from .service import GraphResolver, SelectionService
+
+__all__ = ["ModelRouter", "parse_model_spec"]
+
+
+def parse_model_spec(spec: str) -> Tuple[str, str]:
+    """Split a ``TAG=TARGET`` CLI model spec into ``(tag, target)``.
+
+    ``TARGET`` is a registry reference (``name`` or ``name@ref``) or a bundle
+    file path — :meth:`ModelRouter.from_specs` disambiguates.
+    """
+    tag, sep, target = spec.partition("=")
+    if not sep or not tag or not target:
+        raise ValueError(
+            f"invalid model spec {spec!r}: expected TAG=NAME[@REF] or "
+            f"TAG=BUNDLE.pkl")
+    return tag, target
+
+
+class ModelRouter:
+    """Routes requests to one of N named :class:`SelectionService` instances.
+
+    Parameters
+    ----------
+    services:
+        Mapping of routing tag -> service.  Must be non-empty.
+    default:
+        Tag served when a request names no model (default: the first tag).
+    watch_interval:
+        Poll period of the registry tag watcher in seconds; ``0`` disables
+        it.  The watcher only runs when at least one service is
+        registry-backed.
+    """
+
+    def __init__(self, services: Dict[str, SelectionService],
+                 default: Optional[str] = None,
+                 watch_interval: float = 0.0) -> None:
+        if not services:
+            raise ValueError("a ModelRouter needs at least one service")
+        if watch_interval < 0:
+            raise ValueError("watch_interval must be >= 0")
+        self.services = dict(services)
+        self.default_tag = default if default is not None \
+            else next(iter(self.services))
+        if self.default_tag not in self.services:
+            raise ValueError(
+                f"default tag {self.default_tag!r} is not among "
+                f"{sorted(self.services)}")
+        self.watch_interval = watch_interval
+        self.started_at = time.time()
+        self.watch_checks = 0
+        self.watch_reloads = 0
+        self._watch_stop = threading.Event()
+        self._watcher: Optional[threading.Thread] = None
+        self._lifecycle_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Construction from CLI specs
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_specs(cls, specs: Iterable[Tuple[str, str]],
+                   registry: Optional[Union[ModelRegistry, str]] = None,
+                   default: Optional[str] = None,
+                   graph_store=None,
+                   watch_interval: float = 0.0,
+                   **service_kwargs) -> "ModelRouter":
+        """Build a router from ``(tag, target)`` pairs (see
+        :func:`parse_model_spec`).
+
+        A target containing ``@`` (or a bare name, when ``registry`` is
+        given) loads a registry version; an existing file path (or anything
+        ending in ``.pkl``) loads a bundle file.  All services share one
+        :class:`GraphResolver` when ``graph_store`` is set.
+        """
+        if isinstance(registry, str):
+            registry = ModelRegistry(registry)
+        resolver = None
+        if graph_store is not None:
+            resolver = graph_store if isinstance(graph_store, GraphResolver) \
+                else GraphResolver(graph_store)
+        services: Dict[str, SelectionService] = {}
+        for tag, target in specs:
+            if tag in services:
+                raise ValueError(f"duplicate model tag {tag!r}")
+            is_bundle = "@" not in target and (
+                target.endswith(".pkl") or os.path.exists(target)
+                or registry is None)
+            if is_bundle:
+                service = SelectionService.from_bundle(
+                    target, graph_store=resolver, **service_kwargs)
+            else:
+                if registry is None:
+                    raise ValueError(
+                        f"model spec {tag}={target} references a registry "
+                        f"version but no registry is configured")
+                name, _, ref = target.partition("@")
+                service = SelectionService.from_registry(
+                    registry, name, ref or None, graph_store=resolver,
+                    **service_kwargs)
+            services[tag] = service
+        return cls(services, default=default, watch_interval=watch_interval)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    @property
+    def default_service(self) -> SelectionService:
+        return self.services[self.default_tag]
+
+    def tags(self) -> List[str]:
+        return sorted(self.services)
+
+    def route(self, tag: Optional[str] = None) -> SelectionService:
+        """The service of ``tag`` (default tag when ``None``).
+
+        Raises :class:`KeyError` naming the available tags otherwise.
+        """
+        if tag is None:
+            tag = self.default_tag
+        try:
+            return self.services[tag]
+        except KeyError:
+            raise KeyError(f"unknown model {tag!r}; available: "
+                           f"{self.tags()}") from None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return all(service.running for service in self.services.values())
+
+    def start(self) -> "ModelRouter":
+        """Start every service's micro-batcher and the tag watcher
+        (idempotent)."""
+        with self._lifecycle_lock:
+            for service in self.services.values():
+                service.start()
+            if (self.watch_interval > 0
+                    and (self._watcher is None
+                         or not self._watcher.is_alive())
+                    and any(service.registry_backed
+                            for service in self.services.values())):
+                self._watch_stop.clear()
+                self._watcher = threading.Thread(
+                    target=self._watch_loop, name="registry-tag-watcher",
+                    daemon=True)
+                self._watcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the tag watcher, then every service (idempotent)."""
+        with self._lifecycle_lock:
+            if self._watcher is not None:
+                self._watch_stop.set()
+                self._watcher.join()
+                self._watcher = None
+            for service in self.services.values():
+                service.stop()
+
+    def __enter__(self) -> "ModelRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Tag watching
+    # ------------------------------------------------------------------ #
+    def check_tags(self) -> int:
+        """Re-resolve every registry-backed service once; returns the number
+        of services that loaded a different version."""
+        reloaded = 0
+        for service in self.services.values():
+            if not service.registry_backed:
+                continue
+            try:
+                if service.reload_from_registry():
+                    reloaded += 1
+            except Exception:
+                # A half-written or concurrently-mutated registry must never
+                # kill the watcher (or a caller's thread); the next poll
+                # simply retries.
+                continue
+        self.watch_checks += 1
+        self.watch_reloads += reloaded
+        return reloaded
+
+    def _watch_loop(self) -> None:
+        while not self._watch_stop.wait(self.watch_interval):
+            self.check_tags()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def health(self, tag: Optional[str] = None) -> Dict:
+        """Aggregated liveness payload (or one model's, when ``tag`` set).
+
+        The top level keeps the single-model shape (``model``, ``stats``,
+        ...) for the default service, and adds per-model payloads under
+        ``models`` plus routing and tag-watcher state.
+        """
+        if tag is not None:
+            return self.route(tag).health()
+        payload = dict(self.default_service.health())
+        payload["default_model"] = self.default_tag
+        payload["models"] = {name: service.health()
+                             for name, service in self.services.items()}
+        payload["tag_watcher"] = {
+            "interval_seconds": self.watch_interval,
+            "running": self._watcher is not None
+            and self._watcher.is_alive(),
+            "checks": self.watch_checks,
+            "reloads": self.watch_reloads,
+        }
+        return payload

@@ -29,6 +29,7 @@ its properties with one :func:`repro.graph.compute_properties_batch` call
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -54,7 +55,107 @@ from ..ease.selector import (
 from ..runtime.jobs import graph_fingerprint
 from .registry import ModelRegistry, ModelVersion
 
-__all__ = ["SelectionService", "ServiceStats"]
+__all__ = ["AdmissionGate", "GraphResolver", "SelectionService", "ServiceStats"]
+
+
+class AdmissionGate:
+    """Bounded in-flight admission gate of one service.
+
+    The transport-agnostic request core acquires a slot before any work on a
+    request (graph resolution, property extraction, prediction) and releases
+    it when the response is built.  When all ``limit`` slots are taken the
+    request is *shed* — the core answers ``429`` with a ``Retry-After`` hint
+    instead of queueing unboundedly.  ``limit=None`` admits everything but
+    still counts in-flight requests, so ``/healthz`` always reports load.
+    """
+
+    def __init__(self, limit: Optional[int] = None,
+                 retry_after_seconds: float = 1.0) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("admission limit must be >= 1 (None = unlimited)")
+        if retry_after_seconds <= 0:
+            raise ValueError("retry_after_seconds must be > 0")
+        self.limit = limit
+        self.retry_after_seconds = retry_after_seconds
+        self._lock = threading.Lock()
+        self.in_flight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    def try_acquire(self) -> bool:
+        """Take one slot; False (and a shed count) when the gate is full."""
+        with self._lock:
+            if self.limit is not None and self.in_flight >= self.limit:
+                self.shed_total += 1
+                return False
+            self.in_flight += 1
+            self.admitted_total += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self.in_flight <= 0:
+                raise RuntimeError("AdmissionGate.release without acquire")
+            self.in_flight -= 1
+
+    def as_dict(self) -> Dict:
+        with self._lock:
+            return {"limit": self.limit,
+                    "in_flight": self.in_flight,
+                    "admitted_total": self.admitted_total,
+                    "shed_total": self.shed_total}
+
+
+class GraphResolver:
+    """Bounded LRU of opened store-backed graphs, shareable across services.
+
+    Opening a stored graph is O(1) (one ``meta.json`` read; arrays are
+    memory-mapped lazily), but reusing the object keeps one mapping — and one
+    set of attached CSR views — per graph instead of one per request.  A
+    multi-model router passes one resolver to all its services so N models
+    share a single open-graph LRU over the same store.
+    """
+
+    #: Default LRU bound (mappings are cheap; this only caps file-descriptor
+    #: usage on stores with many graphs).
+    DEFAULT_CACHE_SIZE = 128
+
+    def __init__(self, store: Union[GraphStore, str],
+                 cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        if isinstance(store, str):
+            store = GraphStore(store)
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.store = store
+        self.cache_size = cache_size
+        self._lock = threading.Lock()
+        self._open: "OrderedDict[str, Graph]" = OrderedDict()
+
+    def resolve(self, fingerprint: str) -> Graph:
+        """Open a stored graph by content fingerprint (O(1) memory-map).
+
+        Raises :class:`ValueError` on an unknown fingerprint — the error the
+        request core maps to 400.
+        """
+        with self._lock:
+            cached = self._open.get(fingerprint)
+            if cached is not None:
+                self._open.move_to_end(fingerprint)
+                return cached
+        try:
+            graph = self.store.open(fingerprint)
+        except GraphStoreError as error:
+            raise ValueError(str(error)) from error
+        with self._lock:
+            self._open[fingerprint] = graph
+            self._open.move_to_end(fingerprint)
+            while len(self._open) > self.cache_size:
+                self._open.popitem(last=False)
+        return graph
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._open)
 
 
 @dataclass
@@ -121,11 +222,17 @@ class SelectionService:
         Number of memoized :class:`SelectionResult` entries (LRU by request
         key); ``0`` disables result caching.
     graph_store:
-        Optional :class:`~repro.graph.GraphStore` (or its root directory)
-        backing :meth:`resolve_graph`: requests may then reference stored
-        graphs by content fingerprint instead of shipping edge arrays, and
-        the first hit on a huge graph memory-maps it in O(1) instead of
-        loading O(m) bytes (the ``--graph-store`` serving cold-start path).
+        Optional :class:`~repro.graph.GraphStore` (or its root directory, or
+        a shared :class:`GraphResolver`) backing :meth:`resolve_graph`:
+        requests may then reference stored graphs by content fingerprint
+        instead of shipping edge arrays, and the first hit on a huge graph
+        memory-maps it in O(1) instead of loading O(m) bytes (the
+        ``--graph-store`` serving cold-start path).  Passing a
+        :class:`GraphResolver` shares one open-graph LRU across services.
+    max_inflight:
+        Admission-control bound: at most this many requests may be between
+        admission and response on this service at once; overflow is shed
+        with HTTP 429 by the request core.  ``None`` admits everything.
 
     The micro-batcher only runs between :meth:`start` and :meth:`stop` (or
     inside a ``with`` block); an unstarted service executes every request
@@ -139,7 +246,9 @@ class SelectionService:
                  batch_wait_seconds: float = 0.002,
                  property_cache_size: int = 1024,
                  result_cache_size: int = 4096,
-                 graph_store: Optional[Union[GraphStore, str]] = None) -> None:
+                 graph_store: Optional[Union[GraphStore, str,
+                                             GraphResolver]] = None,
+                 max_inflight: Optional[int] = None) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_wait_seconds < 0:
@@ -152,13 +261,11 @@ class SelectionService:
         self.batch_wait_seconds = batch_wait_seconds
         self.property_cache_size = property_cache_size
         self.result_cache_size = result_cache_size
-        if isinstance(graph_store, str):
-            graph_store = GraphStore(graph_store)
-        self.graph_store = graph_store
-        #: Opened store-backed graphs by fingerprint.  Opening is O(1), but
-        #: reusing the object keeps one mapping (and one set of attached CSR
-        #: views) per graph instead of one per request.
-        self._open_graphs: "OrderedDict[str, Graph]" = OrderedDict()
+        if graph_store is None or isinstance(graph_store, GraphResolver):
+            self.graph_resolver = graph_store
+        else:
+            self.graph_resolver = GraphResolver(graph_store)
+        self.admission = AdmissionGate(max_inflight)
         self.stats = ServiceStats()
         self.started_at = time.time()
         self._properties: "OrderedDict[str, GraphProperties]" = OrderedDict()
@@ -255,35 +362,23 @@ class SelectionService:
     # ------------------------------------------------------------------ #
     # Graph-store resolution
     # ------------------------------------------------------------------ #
-    #: Bound of the opened-graph LRU (mappings are cheap; this only caps
-    #: file-descriptor usage on stores with many graphs).
-    _OPEN_GRAPH_CACHE_SIZE = 128
+    @property
+    def graph_store(self) -> Optional[GraphStore]:
+        """The backing store of :meth:`resolve_graph`, if any."""
+        return None if self.graph_resolver is None else \
+            self.graph_resolver.store
 
     def resolve_graph(self, fingerprint: str) -> Graph:
         """Open a stored graph by content fingerprint (O(1) memory-map).
 
         Raises :class:`ValueError` when no graph store is configured or the
-        fingerprint is unknown — the errors the HTTP layer maps to 400.
+        fingerprint is unknown — the errors the request core maps to 400.
         """
-        if self.graph_store is None:
+        if self.graph_resolver is None:
             raise ValueError(
                 "graph fingerprints require a configured graph store "
                 "(serve with --graph-store)")
-        with self._lock:
-            cached = self._open_graphs.get(fingerprint)
-            if cached is not None:
-                self._open_graphs.move_to_end(fingerprint)
-                return cached
-        try:
-            graph = self.graph_store.open(fingerprint)
-        except GraphStoreError as error:
-            raise ValueError(str(error)) from error
-        with self._lock:
-            self._open_graphs[fingerprint] = graph
-            self._open_graphs.move_to_end(fingerprint)
-            while len(self._open_graphs) > self._OPEN_GRAPH_CACHE_SIZE:
-                self._open_graphs.popitem(last=False)
-        return graph
+        return self.graph_resolver.resolve(fingerprint)
 
     # ------------------------------------------------------------------ #
     # Property memoization
@@ -387,6 +482,11 @@ class SelectionService:
         self.system = system
         self.model_info = dict(model_info or {})
         self.invalidate_result_cache()
+
+    @property
+    def registry_backed(self) -> bool:
+        """Whether :meth:`reload_from_registry` can re-resolve this model."""
+        return self._registry is not None
 
     def reload_from_registry(self) -> bool:
         """Re-resolve the registry reference; reload if it moved.
@@ -584,11 +684,14 @@ class SelectionService:
         """Liveness payload of the ``/healthz`` endpoint."""
         return {
             "status": "ok",
+            "pid": os.getpid(),
             "uptime_seconds": time.time() - self.started_at,
             "batching": self.running,
             "model": {key: self.model_info.get(key)
                       for key in ("name", "version", "tags", "source")},
             "algorithms": list(self.system.processing_time_predictor.algorithms),
             "partitioners": list(self.system.partitioner_names),
+            "queue_depth": self._queue.qsize(),
+            "admission": self.admission.as_dict(),
             "stats": self.stats.as_dict(),
         }
