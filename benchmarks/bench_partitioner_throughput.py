@@ -13,6 +13,13 @@ The grid covers the partition counts the profiling pipeline actually sweeps
 assertion applies to the profiling range, where the kernel's sparse
 replica-set path dominates.
 
+With numba importable a third column measures the compiled kernel tier
+(``use_compiled=True``) against the numpy kernel; its geometric-mean speedup
+is asserted on the dense ``k`` rows only (64, 100 — past the bitmask cutoff,
+where the numpy path pays per-edge O(k) temporaries).  Without numba the
+column is skipped: the tier falls back silently and there is nothing to
+measure.
+
 Runs both as a pytest benchmark (``pytest benchmarks/bench_partitioner_throughput.py``)
 and as a script; ``--quick`` is the CI smoke mode (tiny graph, equality
 assertions only, no timing thresholds).
@@ -36,6 +43,7 @@ if __package__ is None or __package__ == "":
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from _harness import format_table, report
+import repro._compiled as _compiled
 from repro.generators import generate_rmat
 from repro.partitioning import create_partitioner
 
@@ -45,19 +53,31 @@ ALGORITHMS = ("hdrf", "2ps", "hep10")
 #: gated).
 ASSERTED_ALGORITHMS = ("hdrf", "2ps")
 PARTITION_COUNTS = (4, 8, 16, 32)
+#: Dense rows past the int64-bitmask cutoff: the numpy kernel's O(k) cliff
+#: and the target of the compiled tier's geomean assertion.
+DENSE_PARTITION_COUNTS = (64, 100)
 NUM_VERTICES = 4000
 NUM_EDGES = 40000
 REPEATS = 2
 MIN_GEOMEAN_SPEEDUP = 3.0
+#: Compiled-vs-numpy-kernel floor on the dense rows, asserted only when
+#: numba is importable (without it the compiled tier silently falls back and
+#: there is nothing to measure).
+MIN_COMPILED_SPEEDUP = 3.0
 
 QUICK_NUM_VERTICES = 128
 QUICK_NUM_EDGES = 900
 QUICK_PARTITION_COUNTS = (2, 8, 64)
+QUICK_DENSE_PARTITION_COUNTS = ()
 
 
-def _measure(graph, name: str, k: int, use_kernel: bool, repeats: int):
+def _measure(graph, name: str, k: int, use_kernel: bool, repeats: int,
+             use_compiled=None):
     """Best-of-``repeats`` wall clock and the resulting assignment."""
-    partitioner = create_partitioner(name, use_kernel=use_kernel)
+    partitioner = create_partitioner(name, use_kernel=use_kernel,
+                                     use_compiled=use_compiled)
+    if use_compiled:
+        partitioner(graph, k)  # untimed jit warm-up (first call compiles)
     best = float("inf")
     assignment = None
     for _ in range(repeats):
@@ -68,12 +88,16 @@ def _measure(graph, name: str, k: int, use_kernel: bool, repeats: int):
 
 
 def run_grid(num_vertices: int, num_edges: int, partition_counts,
-             repeats: int = REPEATS, check_speedup: bool = True):
+             repeats: int = REPEATS, check_speedup: bool = True,
+             dense_counts=DENSE_PARTITION_COUNTS):
     graph = generate_rmat(num_vertices, num_edges, seed=1)
+    compiled_available = _compiled.numba_available()
     rows = []
     speedups = {name: [] for name in ALGORITHMS}
+    compiled_speedups = {name: [] for name in ALGORITHMS}
     for name in ALGORITHMS:
-        for k in partition_counts:
+        for k in tuple(partition_counts) + tuple(dense_counts):
+            dense = k in dense_counts
             loop_seconds, loop_assignment = _measure(graph, name, k, False,
                                                      repeats)
             kernel_seconds, kernel_assignment = _measure(graph, name, k, True,
@@ -82,26 +106,57 @@ def run_grid(num_vertices: int, num_edges: int, partition_counts,
                 raise AssertionError(
                     f"kernel and loop assignments differ for {name} at k={k}")
             speedup = loop_seconds / kernel_seconds
-            speedups[name].append(speedup)
+            if not dense:
+                speedups[name].append(speedup)
+            compiled_cell = "n/a"
+            if compiled_available:
+                compiled_seconds, compiled_assignment = _measure(
+                    graph, name, k, True, repeats, use_compiled=True)
+                if not np.array_equal(compiled_assignment, kernel_assignment):
+                    raise AssertionError(
+                        f"compiled and kernel assignments differ for {name} "
+                        f"at k={k}")
+                compiled_speedup = kernel_seconds / compiled_seconds
+                if dense:
+                    compiled_speedups[name].append(compiled_speedup)
+                compiled_cell = (f"{graph.num_edges / compiled_seconds:.0f} "
+                                 f"({compiled_speedup:.2f}x)")
             rows.append((name, k, graph.num_edges / loop_seconds,
                          graph.num_edges / kernel_seconds,
-                         f"{speedup:.2f}x"))
+                         f"{speedup:.2f}x", compiled_cell))
     geomeans = {name: math.prod(values) ** (1.0 / len(values))
                 for name, values in speedups.items()}
+    compiled_geomeans = {
+        name: math.prod(values) ** (1.0 / len(values))
+        for name, values in compiled_speedups.items() if values}
     table = format_table(
-        ("algorithm", "k", "loop edges/s", "kernel edges/s", "speedup"),
+        ("algorithm", "k", "loop edges/s", "kernel edges/s", "speedup",
+         "compiled edges/s (vs kernel)"),
         rows,
         title=f"Streaming-partitioner throughput: R-MAT |V|={num_vertices} "
               f"|E|={num_edges}, identical assignments asserted per cell")
     summary = "\n".join(
         f"geomean speedup {name}: {geomeans[name]:.2f}x"
         for name in ALGORITHMS)
+    if compiled_geomeans:
+        summary += "\n" + "\n".join(
+            f"geomean compiled speedup {name} (dense k): "
+            f"{compiled_geomeans[name]:.2f}x"
+            for name in sorted(compiled_geomeans))
+    else:
+        summary += "\ncompiled tier: numba not importable, column skipped"
     report("partitioner_throughput", table + "\n" + summary)
     if check_speedup:
         for name in ASSERTED_ALGORITHMS:
             assert geomeans[name] >= MIN_GEOMEAN_SPEEDUP, (
                 f"{name}: geomean kernel speedup {geomeans[name]:.2f}x "
                 f"below {MIN_GEOMEAN_SPEEDUP}x")
+        if compiled_available:
+            for name in ASSERTED_ALGORITHMS:
+                assert compiled_geomeans[name] >= MIN_COMPILED_SPEEDUP, (
+                    f"{name}: geomean compiled speedup "
+                    f"{compiled_geomeans[name]:.2f}x below "
+                    f"{MIN_COMPILED_SPEEDUP}x on dense k")
     return geomeans
 
 
@@ -123,7 +178,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.quick:
         run_grid(QUICK_NUM_VERTICES, QUICK_NUM_EDGES, QUICK_PARTITION_COUNTS,
-                 repeats=1, check_speedup=False)
+                 repeats=1, check_speedup=False,
+                 dense_counts=QUICK_DENSE_PARTITION_COUNTS)
         print("quick smoke passed: kernel and loop assignments identical")
     else:
         run_grid(NUM_VERTICES, NUM_EDGES, PARTITION_COUNTS)

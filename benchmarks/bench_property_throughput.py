@@ -15,6 +15,12 @@ family, and asserts the geometric-mean engine speedup across families.
 Both the exact path (small graphs) and the sampled-estimator path (vertices
 > sample size) are covered.
 
+With numba importable a fourth column measures the compiled triangle
+merge-join (``use_compiled=True``) against the numpy engine on the exact
+families; its geometric-mean speedup is asserted on the skewed families
+(ba/rmat/soc), where the numpy wedge enumeration materializes ~m^1.5 flat
+index temporaries.  Without numba the column is skipped (silent fallback).
+
 Runs as a pytest benchmark or as a script; ``--quick`` is the CI smoke mode
 (tiny graphs, equality assertions only, no timing thresholds).
 """
@@ -35,6 +41,7 @@ if __package__ is None or __package__ == "":
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from _harness import format_table, report
+import repro._compiled as _compiled
 from repro.generators import (
     generate_barabasi_albert,
     generate_erdos_renyi,
@@ -45,6 +52,12 @@ from repro.graph import Graph, compute_properties
 from repro.runtime import ArtifactStore
 
 MIN_GEOMEAN_SPEEDUP = 3.0
+#: Compiled-join-vs-numpy-engine floor on the skewed exact families,
+#: asserted only when numba is importable.
+MIN_COMPILED_SPEEDUP = 3.0
+#: Exact families with heavy-tailed degrees: where the numpy wedge join's
+#: O(wedges) temporaries dominate and the merge join pays off.
+COMPILED_ASSERTED_FAMILIES = ("ba", "rmat", "soc")
 REPEATS = 2
 
 #: (family, graph factory, exact_triangles) — sizes chosen so the seed loop
@@ -92,8 +105,10 @@ def run_grid(families, repeats: int = REPEATS, check_speedup: bool = True,
              cache_dir: str = None):
     import tempfile
 
+    compiled_available = _compiled.numba_available()
     rows = []
     speedups = []
+    compiled_speedups = []
     with tempfile.TemporaryDirectory() as tmp:
         store = ArtifactStore(cache_dir or tmp)
         for name, factory, exact in families:
@@ -106,6 +121,22 @@ def run_grid(families, repeats: int = REPEATS, check_speedup: bool = True,
                 raise AssertionError(
                     f"engine and seed properties differ for {name}: "
                     f"{engine_props} vs {seed_props}")
+            compiled_cell = "n/a"
+            if compiled_available and exact:
+                # Untimed warm-up pays the lazy jit before the measurement.
+                compute_properties(_fresh(graph), exact_triangles=True,
+                                   sample_size=SAMPLE_SIZE,
+                                   use_compiled=True)
+                compiled_seconds, compiled_props = _measure(
+                    graph, exact, repeats, use_compiled=True)
+                if compiled_props != engine_props:
+                    raise AssertionError(
+                        f"compiled and engine properties differ for {name}")
+                compiled_speedup = engine_seconds / compiled_seconds
+                if name in COMPILED_ASSERTED_FAMILIES:
+                    compiled_speedups.append(compiled_speedup)
+                compiled_cell = (f"{graph.num_edges / compiled_seconds:.0f} "
+                                 f"({compiled_speedup:.2f}x)")
             # Warm the artifact cache, then measure the cached restore.
             compute_properties(graph, exact_triangles=exact,
                                sample_size=SAMPLE_SIZE, store=store)
@@ -121,21 +152,34 @@ def run_grid(families, repeats: int = REPEATS, check_speedup: bool = True,
                          graph.num_edges / seed_seconds,
                          graph.num_edges / engine_seconds,
                          graph.num_edges / cached_seconds,
-                         f"{speedup:.2f}x"))
+                         f"{speedup:.2f}x", compiled_cell))
     geomean = math.prod(speedups) ** (1.0 / len(speedups))
     table = format_table(
         ("family", "|V|", "|E|", "path", "seed edges/s", "engine edges/s",
-         "warm-cache edges/s", "speedup"),
+         "warm-cache edges/s", "speedup", "compiled edges/s (vs engine)"),
         rows,
         title="Property-extraction throughput: per-vertex seed loops vs "
               "block-vectorized engine vs warm artifact cache "
               "(identical GraphProperties asserted per family)")
-    report("property_throughput",
-           table + f"\ngeomean engine speedup: {geomean:.2f}x")
+    summary = f"\ngeomean engine speedup: {geomean:.2f}x"
+    if compiled_speedups:
+        compiled_geomean = (math.prod(compiled_speedups)
+                            ** (1.0 / len(compiled_speedups)))
+        summary += (f"\ngeomean compiled speedup (skewed families): "
+                    f"{compiled_geomean:.2f}x")
+    else:
+        compiled_geomean = None
+        if not compiled_available:
+            summary += "\ncompiled tier: numba not importable, column skipped"
+    report("property_throughput", table + summary)
     if check_speedup:
         assert geomean >= MIN_GEOMEAN_SPEEDUP, (
             f"geomean engine speedup {geomean:.2f}x below "
             f"{MIN_GEOMEAN_SPEEDUP}x")
+        if compiled_geomean is not None:
+            assert compiled_geomean >= MIN_COMPILED_SPEEDUP, (
+                f"geomean compiled speedup {compiled_geomean:.2f}x below "
+                f"{MIN_COMPILED_SPEEDUP}x on skewed families")
     return geomean
 
 

@@ -3,8 +3,16 @@
 The project is configured through ``pyproject.toml``; this file exists so the
 package can be installed in editable mode on environments without the
 ``wheel`` package (``pip install -e . --no-use-pep517``).
+
+The ``compiled`` extra pulls in numba for the optional compiled kernel tier
+(:mod:`repro._compiled`): ``pip install -e .[compiled]``.  Without it the
+package behaves identically on the pure-numpy kernels.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "compiled": ["numba"],
+    },
+)

@@ -1,0 +1,91 @@
+"""Optional compiled (numba-jitted) kernel tier.
+
+The pure-numpy kernels in :mod:`repro.partitioning.kernels` and
+:mod:`repro.graph.property_engine` are the default implementations and the
+correctness reference everywhere.  This package provides drop-in compiled
+variants of the two remaining O(·) cliffs — the dense hub–hub replica-union
+scoring path at large ``k`` and the oriented wedge join of the exact triangle
+counter — that produce **identical results** (same IEEE-754 operations in the
+same order, same first-index tie-breaking) while running as native loops.
+
+Activation is strictly opt-in and degrades silently:
+
+* the ``REPRO_COMPILED`` environment variable (``1``/``true``/``yes``/``on``
+  to enable) is the process-wide default;
+* every dispatch site also takes a ``use_compiled=`` keyword whose explicit
+  ``True``/``False`` overrides the environment (``None`` defers to it);
+* when numba is not importable — it is an optional dependency, installed via
+  the ``compiled`` packaging extra — every dispatch site falls back to the
+  numpy path without raising or warning.  ``repro`` must behave identically
+  with and without numba installed; only the wall-clock differs.
+
+Nothing outside this package may import numba at module top level (an AST
+lint in the test suite enforces this), so ``import repro`` never pays — or
+requires — the numba toolchain.  The kernel module itself is imported
+lazily, on the first dispatch that actually requests the compiled tier.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "ENV_FLAG",
+    "compiled_enabled",
+    "env_enabled",
+    "load_kernels",
+    "numba_available",
+]
+
+#: Environment variable holding the process-wide default of the feature flag.
+ENV_FLAG = "REPRO_COMPILED"
+
+_TRUE_VALUES = ("1", "true", "yes", "on")
+
+#: Lazily imported kernel module; ``None`` = not yet attempted, ``False`` =
+#: import failed (numba missing or broken) and will not be retried.
+_kernels = None
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_COMPILED`` requests the compiled tier."""
+    return os.environ.get(ENV_FLAG, "").strip().lower() in _TRUE_VALUES
+
+
+def load_kernels():
+    """The kernel module, or ``None`` when it cannot be imported.
+
+    The first call pays the import (and, with numba present, the lazy jit
+    machinery); failures are cached so a numba-less process answers
+    subsequent dispatches at the cost of one attribute read.
+    """
+    global _kernels
+    if _kernels is None:
+        try:
+            from . import kernels as module
+        except Exception:
+            _kernels = False
+        else:
+            _kernels = module
+    return _kernels if _kernels is not False else None
+
+
+def numba_available() -> bool:
+    """True when the kernel module imported with a working numba."""
+    module = load_kernels()
+    return bool(module is not None and module.NUMBA_COMPILED)
+
+
+def compiled_enabled(use_compiled: Optional[bool] = None) -> bool:
+    """Resolve the feature flag for one dispatch site.
+
+    ``use_compiled`` is the call-site keyword: an explicit boolean wins over
+    the environment, ``None`` defers to :func:`env_enabled`.  Either way the
+    compiled tier only engages when numba actually compiled the kernels —
+    running the kernel sources as plain Python loops would be drastically
+    *slower* than the numpy reference, so a missing numba always means
+    "fall back", never "interpret".
+    """
+    requested = env_enabled() if use_compiled is None else bool(use_compiled)
+    return requested and numba_available()

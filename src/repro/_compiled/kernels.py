@@ -1,0 +1,267 @@
+"""Numba kernel sources of the compiled tier.
+
+Each function here is the compiled twin of a numpy kernel and is held to the
+same contract: **identical results**, not merely statistically equivalent
+ones.  That works because every floating-point expression mirrors the numpy
+reference operation-for-operation (same IEEE-754 double arithmetic, same
+association order) and every argmax/argmin breaks ties on the first index,
+exactly like ``np.argmax``/``np.argmin``:
+
+* :func:`streaming_assign` — the HDRF streaming loop as one fused per-edge
+  pass: replica-union membership, replication + balance score and the argmax
+  over all ``k`` partitions in native code.  This is the kernel that removes
+  the dense ``k > 63`` cliff of
+  :class:`repro.partitioning.kernels.StreamingScoreState`, where the numpy
+  path must materialize membership rows and score vectors per edge.
+* :func:`two_ps_assign` — the 2PS partitioning phase (cluster-preference
+  fast path, capacity-masked scoring, least-loaded overflow) fused the same
+  way.
+* :func:`hep_stream` — HEP's streaming phase over state seeded by the
+  in-memory expansion (capacity-masked scoring with the raw unmasked argmax
+  overflow of the reference loop).
+* :func:`oriented_triangle_join` — per-apex merge-intersection over the
+  oriented (rank-space) CSR.  The numpy engine enumerates every wedge as
+  flat index arrays (O(wedges) temporaries, ~m^1.5 on skewed graphs); the
+  merge join touches each adjacency list pair once with O(1) extra memory.
+
+With numba importable the functions are jitted lazily (first call per
+signature); without it they remain plain Python functions.  The dispatch
+layer (:func:`repro._compiled.compiled_enabled`) never routes production
+traffic to the un-jitted forms — interpreting these loops would be far
+slower than the numpy reference — but the test suite calls them directly:
+running the *same source* under the interpreter is what lets a numba-less
+environment assert parity of the compiled tier's logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    from numba import njit
+
+    NUMBA_COMPILED = True
+except ImportError:  # pragma: no cover - exercised on numba-less installs
+    NUMBA_COMPILED = False
+
+    def njit(*args, **kwargs):
+        """No-op decorator stand-in: keeps the sources importable/testable."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(function):
+            return function
+
+        return wrap
+
+__all__ = [
+    "NUMBA_COMPILED",
+    "streaming_assign",
+    "two_ps_assign",
+    "hep_stream",
+    "oriented_triangle_join",
+]
+
+
+@njit(cache=True)
+def streaming_assign(src, dst, coeff_u, coeff_v, num_vertices,
+                     num_partitions, balance_weight, epsilon):
+    """HDRF assignment, fused per-edge loop; identical to the numpy kernel.
+
+    ``coeff_u``/``coeff_v`` are the whole-stream replication coefficients
+    precomputed by :func:`repro.partitioning.kernels.replication_coefficients`
+    (shared with the numpy path, so the float inputs are bit-identical).
+    """
+    num_edges = src.shape[0]
+    assignment = np.empty(num_edges, dtype=np.int64)
+    replicas = np.zeros((num_vertices, num_partitions), dtype=np.uint8)
+    sizes = np.zeros(num_partitions, dtype=np.int64)
+    for edge in range(num_edges):
+        u = src[edge]
+        v = dst[edge]
+        cu = coeff_u[edge]
+        cv = coeff_v[edge]
+        # Pre-assignment extrema of the partition sizes: the balance term of
+        # the reference is computed against the state *before* this edge.
+        max_size = sizes[0]
+        min_size = sizes[0]
+        for p in range(1, num_partitions):
+            s = sizes[p]
+            if s > max_size:
+                max_size = s
+            if s < min_size:
+                min_size = s
+        denom = epsilon + max_size - min_size
+        best = 0
+        best_score = -np.inf
+        for p in range(num_partitions):
+            score = (replicas[u, p] * cu + replicas[v, p] * cv
+                     + balance_weight * (max_size - sizes[p]) / denom)
+            if score > best_score:
+                best_score = score
+                best = p
+        assignment[edge] = best
+        sizes[best] += 1
+        replicas[u, best] = 1
+        replicas[v, best] = 1
+    return assignment
+
+
+@njit(cache=True)
+def two_ps_assign(src, dst, deg_u, deg_v, coeff_u, coeff_v, preferred,
+                  num_vertices, num_partitions, capacity, balance_weight,
+                  epsilon):
+    """2PS partitioning phase, fused; identical to the (fixed) numpy kernel.
+
+    Follows the reference decision order exactly: shared-cluster fast path,
+    lower-degree-first cluster preference under capacity, capacity-masked
+    HDRF-style scoring, and least-loaded placement when every partition is
+    at capacity.
+    """
+    num_edges = src.shape[0]
+    assignment = np.empty(num_edges, dtype=np.int64)
+    replicas = np.zeros((num_vertices, num_partitions), dtype=np.uint8)
+    sizes = np.zeros(num_partitions, dtype=np.int64)
+    for edge in range(num_edges):
+        u = src[edge]
+        v = dst[edge]
+        pu = preferred[u]
+        pv = preferred[v]
+        if pu == pv and sizes[pu] < capacity:
+            chosen = pu
+        else:
+            if deg_u[edge] <= deg_v[edge]:
+                first, second = pu, pv
+            else:
+                first, second = pv, pu
+            if sizes[first] < capacity:
+                chosen = first
+            elif sizes[second] < capacity:
+                chosen = second
+            else:
+                cu = coeff_u[edge]
+                cv = coeff_v[edge]
+                max_size = sizes[0]
+                min_size = sizes[0]
+                for p in range(1, num_partitions):
+                    s = sizes[p]
+                    if s > max_size:
+                        max_size = s
+                    if s < min_size:
+                        min_size = s
+                denom = epsilon + max_size - min_size
+                chosen = -1
+                best_score = -np.inf
+                for p in range(num_partitions):
+                    if sizes[p] >= capacity:
+                        continue
+                    score = (replicas[u, p] * cu + replicas[v, p] * cv
+                             + balance_weight * (max_size - sizes[p]) / denom)
+                    if score > best_score:
+                        best_score = score
+                        chosen = p
+                if chosen < 0:
+                    # Capacity exhausted everywhere: least-loaded wins
+                    # (first index on ties, like np.argmin).
+                    chosen = 0
+                    for p in range(1, num_partitions):
+                        if sizes[p] < sizes[chosen]:
+                            chosen = p
+        assignment[edge] = chosen
+        sizes[chosen] += 1
+        replicas[u, chosen] = 1
+        replicas[v, chosen] = 1
+    return assignment
+
+
+@njit(cache=True)
+def hep_stream(src, dst, streamed_edges, coeff_u, coeff_v, sizes, replicas,
+               assignment, num_partitions, balance_weight, epsilon, capacity):
+    """HEP streaming phase over seeded state; identical to the numpy kernel.
+
+    ``sizes`` (int64, length ``k``) and ``replicas`` (``|V| x k`` uint8) are
+    the partition sizes and replica sets produced by the in-memory expansion
+    phase; both are mutated, as is ``assignment`` at the ``streamed_edges``
+    positions.  ``coeff_u``/``coeff_v`` are indexed by streamed position.
+    Unlike 2PS, HEP drops the capacity mask entirely when every partition is
+    full (the reference loop's raw argmax).
+    """
+    num_streamed = streamed_edges.shape[0]
+    for position in range(num_streamed):
+        edge = streamed_edges[position]
+        u = src[edge]
+        v = dst[edge]
+        cu = coeff_u[position]
+        cv = coeff_v[position]
+        max_size = sizes[0]
+        min_size = sizes[0]
+        for p in range(1, num_partitions):
+            s = sizes[p]
+            if s > max_size:
+                max_size = s
+            if s < min_size:
+                min_size = s
+        denom = epsilon + max_size - min_size
+        best = -1
+        best_score = -np.inf
+        for p in range(num_partitions):
+            if sizes[p] >= capacity:
+                continue
+            score = (replicas[u, p] * cu + replicas[v, p] * cv
+                     + balance_weight * (max_size - sizes[p]) / denom)
+            if score > best_score:
+                best_score = score
+                best = p
+        if best < 0:
+            # Every partition at capacity: raw (unmasked) argmax.
+            best = 0
+            best_score = -np.inf
+            for p in range(num_partitions):
+                score = (replicas[u, p] * cu + replicas[v, p] * cv
+                         + balance_weight * (max_size - sizes[p]) / denom)
+                if score > best_score:
+                    best_score = score
+                    best = p
+        assignment[edge] = best
+        sizes[best] += 1
+        replicas[u, best] = 1
+        replicas[v, best] = 1
+
+
+@njit(cache=True)
+def oriented_triangle_join(indptr, indices, num_vertices):
+    """Per-vertex triangle counts over the oriented CSR, in rank space.
+
+    ``indptr``/``indices`` describe the degree-ordered oriented graph built
+    by :func:`repro.graph.property_engine.triangle_counts_engine`: every
+    vertex id is its (degree, id) rank, every adjacency list is sorted
+    ascending, and every edge points from lower to higher rank.  For each
+    oriented edge ``(a, b)`` the sorted tail-of-``a`` suffix beyond ``b`` is
+    merge-intersected with the adjacency of ``b``; each common element ``c``
+    closes the wedge ``(a; b, c)`` into the triangle ``a < b < c``, counted
+    once for each member — exactly the hits of the numpy wedge join, without
+    materializing a single wedge array.
+    """
+    counts = np.zeros(num_vertices, dtype=np.int64)
+    for a in range(num_vertices):
+        row_start = indptr[a]
+        row_end = indptr[a + 1]
+        for slot in range(row_start, row_end - 1):
+            b = indices[slot]
+            i = slot + 1
+            j = indptr[b]
+            j_end = indptr[b + 1]
+            while i < row_end and j < j_end:
+                c_a = indices[i]
+                c_b = indices[j]
+                if c_a == c_b:
+                    counts[a] += 1
+                    counts[b] += 1
+                    counts[c_a] += 1
+                    i += 1
+                    j += 1
+                elif c_a < c_b:
+                    i += 1
+                else:
+                    j += 1
+    return counts

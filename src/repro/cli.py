@@ -299,7 +299,8 @@ def _command_properties(args: argparse.Namespace) -> int:
         store = ArtifactStore(args.cache_dir)
     properties = compute_properties_batch(
         graphs, exact_triangles=args.exact_triangles, seed=args.seed,
-        use_engine=not args.no_engine, store=store)
+        use_engine=not args.no_engine, store=store, mode=args.mode,
+        wedge_budget=args.wedge_budget)
     os.makedirs(args.output, exist_ok=True)
     for graph, props in zip(graphs, properties):
         path = os.path.join(args.output, f"{graph.name}.properties.json")
@@ -402,7 +403,8 @@ def _build_router(args: argparse.Namespace):
         watch_interval=args.watch_interval,
         max_batch_size=args.max_batch_size,
         batch_wait_seconds=args.batch_wait_ms / 1000.0,
-        max_inflight=args.max_inflight)
+        max_inflight=args.max_inflight,
+        approximate_wedge_budget=args.approximate_wedge_budget)
     return router, registry
 
 
@@ -651,6 +653,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="use the seed per-vertex loops instead of "
                                  "the vectorized engine (results are "
                                  "identical; for comparison only)")
+    properties.add_argument("--mode", choices=("exact", "approximate"),
+                            default="exact",
+                            help="'approximate' replaces triangle/clustering "
+                                 "features with bounded wedge-sampling "
+                                 "estimates (cached separately from exact "
+                                 "artifacts)")
+    properties.add_argument("--wedge-budget", type=int, default=None,
+                            help="closure-check cap of --mode approximate "
+                                 "(default: the library default budget)")
     properties.set_defaults(handler=_command_properties)
 
     train = subparsers.add_parser("train", help="train EASE from a profile")
@@ -724,6 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission limit per model and worker process: "
                             "requests beyond this many in flight are shed "
                             "with 429 + Retry-After (default: unlimited)")
+    serve.add_argument("--approximate-wedge-budget", type=int, default=None,
+                       help="wedge-sample cap of properties_mode="
+                            "'approximate' requests (bounds first-hit "
+                            "latency; default: the library default budget)")
     serve.add_argument("--watch-interval", type=float, default=0.0,
                        metavar="SECONDS",
                        help="poll the registry this often and auto-reload "

@@ -16,6 +16,13 @@ from .property_engine import (
     sampled_triangle_stats_engine,
     triangle_counts_engine,
 )
+from .sketches import (
+    ApproximateTriangleStats,
+    PropertyEstimate,
+    approximate_properties,
+    approximate_triangle_stats,
+    hoeffding_half_width,
+)
 from .io import read_edge_list, write_edge_list, save_npz, load_npz
 from .store import (
     GraphStore,
@@ -39,6 +46,11 @@ __all__ = [
     "triangle_counts_engine",
     "sampled_triangle_stats_engine",
     "local_clustering_coefficients",
+    "ApproximateTriangleStats",
+    "PropertyEstimate",
+    "approximate_properties",
+    "approximate_triangle_stats",
+    "hoeffding_half_width",
     "read_edge_list",
     "write_edge_list",
     "save_npz",

@@ -96,16 +96,19 @@ def _undirected_neighbor_sets(graph: Graph):
     return neighbor_sets
 
 
-def triangle_counts(graph: Graph, use_engine: bool = True) -> np.ndarray:
+def triangle_counts(graph: Graph, use_engine: bool = True,
+                    use_compiled: Optional[bool] = None) -> np.ndarray:
     """Number of triangles incident to each vertex (undirected view).
 
     A triangle is a set of three vertices that are pairwise connected,
     ignoring edge direction and multiplicity.  ``use_engine=False`` runs the
     seed per-vertex loop instead of the block-vectorized engine; both return
-    identical (exact, integer) counts.
+    identical (exact, integer) counts.  ``use_compiled`` overrides the
+    compiled kernel tier of the engine path (``None`` defers to
+    ``REPRO_COMPILED``); counts are identical on every tier.
     """
     if use_engine:
-        return triangle_counts_engine(graph)
+        return triangle_counts_engine(graph, use_compiled=use_compiled)
     neighbor_sets = _undirected_neighbor_sets(graph)
     counts = np.zeros(graph.num_vertices, dtype=np.int64)
     for v in range(graph.num_vertices):
@@ -125,14 +128,17 @@ def triangle_counts(graph: Graph, use_engine: bool = True) -> np.ndarray:
 
 def local_clustering_coefficients(graph: Graph,
                                   triangles: np.ndarray = None,
-                                  use_engine: bool = True) -> np.ndarray:
+                                  use_engine: bool = True,
+                                  use_compiled: Optional[bool] = None
+                                  ) -> np.ndarray:
     """Local clustering coefficient ``t(v) / (0.5 * deg(v) * (deg(v) - 1))``.
 
     Degrees are undirected (unique neighbours); vertices with degree < 2 have
     a coefficient of zero.
     """
     if triangles is None:
-        triangles = triangle_counts(graph, use_engine=use_engine)
+        triangles = triangle_counts(graph, use_engine=use_engine,
+                                    use_compiled=use_compiled)
     if use_engine:
         return local_clustering_from_triangles(graph, triangles)
     neighbor_sets = _undirected_neighbor_sets(graph)
@@ -216,21 +222,36 @@ class GraphProperties:
 
 
 def properties_artifact_key(fingerprint: str, exact_triangles: bool,
-                            seed: int):
+                            seed: int, mode: str = "exact",
+                            wedge_budget: Optional[int] = None):
     """Content-addressed artifact key of one graph's properties.
 
     Matches :attr:`repro.runtime.jobs.PropertiesJob.key`, so property
     memoization through an :class:`~repro.runtime.artifacts.ArtifactStore`
     shares artifacts with profiling runs (and vice versa): a ``--extend``
     re-profile or a serving cold start finds the properties already on disk.
+
+    The ``exact`` mode keeps the legacy four-element key so artifacts
+    written before approximate extraction existed are still found.
+    ``approximate`` keys additionally carry the mode and the wedge budget:
+    a sketch-based estimate and an exact extraction of the same graph (or
+    two estimates under different budgets) must never collide.
     """
-    return ("properties", fingerprint, exact_triangles, seed)
+    if mode == "exact":
+        return ("properties", fingerprint, exact_triangles, seed)
+    if mode != "approximate":
+        raise ValueError(f"unknown properties mode: {mode!r}")
+    return ("properties", fingerprint, exact_triangles, seed, mode,
+            wedge_budget)
 
 
 def compute_properties(graph: Graph, exact_triangles: bool = True,
                        sample_size: int = DEFAULT_SAMPLE_SIZE,
                        seed: int = 0, use_engine: bool = True,
-                       store=None) -> GraphProperties:
+                       store=None, mode: str = "exact",
+                       wedge_budget: Optional[int] = None,
+                       use_compiled: Optional[bool] = None
+                       ) -> GraphProperties:
     """Compute all graph properties of Section II-B in a single pass.
 
     Parameters
@@ -258,7 +279,45 @@ def compute_properties(graph: Graph, exact_triangles: bool = True,
         profiling/serving runs over the same graph content skip the
         computation entirely.  Bypassed for non-default ``sample_size``
         (the artifact key does not carry it).
+    mode:
+        ``"exact"`` (default) computes triangles/clustering as described
+        above.  ``"approximate"`` replaces them with the bounded-work
+        wedge-sampling estimators of :mod:`repro.graph.sketches`: the wedge
+        work is capped by ``wedge_budget`` regardless of graph size, and the
+        estimates carry Hoeffding error bounds (returned by the sketch API;
+        this function reports the point estimates).  Artifacts of the two
+        modes never collide — the key carries the mode and budget.
+    wedge_budget:
+        Wedge-sample cap of approximate mode (``None`` uses
+        :data:`repro.graph.sketches.DEFAULT_WEDGE_BUDGET`).  Ignored in
+        exact mode.
+    use_compiled:
+        Per-call override of the compiled kernel tier for triangle
+        counting; ``None`` defers to ``REPRO_COMPILED``.  Results are
+        identical on every tier.
     """
+    if mode not in ("exact", "approximate"):
+        raise ValueError(f"unknown properties mode: {mode!r}")
+    if mode == "approximate":
+        from .sketches import DEFAULT_WEDGE_BUDGET, approximate_properties
+        if wedge_budget is None:
+            wedge_budget = DEFAULT_WEDGE_BUDGET
+        key = None
+        if store is not None:
+            key = properties_artifact_key(graph_fingerprint(graph),
+                                          exact_triangles, seed, mode=mode,
+                                          wedge_budget=wedge_budget)
+            cached = store.get(key)
+            if cached is not None:
+                return cached
+        properties, _ = approximate_properties(graph,
+                                               wedge_budget=wedge_budget,
+                                               seed=seed,
+                                               use_compiled=use_compiled)
+        if key is not None:
+            store.put(key, properties)
+        return properties
+
     key = None
     if store is not None and sample_size == DEFAULT_SAMPLE_SIZE:
         key = properties_artifact_key(graph_fingerprint(graph),
@@ -276,14 +335,15 @@ def compute_properties(graph: Graph, exact_triangles: bool = True,
     in_deg = graph.in_degrees()
     out_deg = graph.out_degrees()
     if exact_triangles or graph.num_vertices <= sample_size:
-        triangles = triangle_counts(graph, use_engine=use_engine)
+        triangles = triangle_counts(graph, use_engine=use_engine,
+                                    use_compiled=use_compiled)
         lcc = local_clustering_coefficients(graph, triangles,
                                             use_engine=use_engine)
         mean_tri = float(triangles.mean())
         mean_lcc = float(lcc.mean())
     elif use_engine:
-        mean_tri, mean_lcc = sampled_triangle_stats_engine(graph, sample_size,
-                                                           seed)
+        mean_tri, mean_lcc = sampled_triangle_stats_engine(
+            graph, sample_size, seed, use_compiled=use_compiled)
     else:
         mean_tri, mean_lcc = _sampled_triangle_stats(graph, sample_size, seed)
 
@@ -311,7 +371,10 @@ def compute_properties_batch(graphs: Sequence[Graph],
                              exact_triangles: bool = True,
                              sample_size: int = DEFAULT_SAMPLE_SIZE,
                              seed: int = 0, use_engine: bool = True,
-                             store=None) -> List[GraphProperties]:
+                             store=None, mode: str = "exact",
+                             wedge_budget: Optional[int] = None,
+                             use_compiled: Optional[bool] = None
+                             ) -> List[GraphProperties]:
     """Properties of a whole corpus in one content-deduplicated call.
 
     Graphs with identical content (same fingerprint) are computed once and
@@ -332,7 +395,8 @@ def compute_properties_batch(graphs: Sequence[Graph],
             properties = compute_properties(
                 graph, exact_triangles=exact_triangles,
                 sample_size=sample_size, seed=seed, use_engine=use_engine,
-                store=store)
+                store=store, mode=mode, wedge_budget=wedge_budget,
+                use_compiled=use_compiled)
             by_fingerprint[fingerprint] = properties
         results[position] = properties
     return results

@@ -31,11 +31,19 @@ of graph size — mirroring the partitioning-kernels design, including the
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .graph import Graph
+
+
+def _compiled_kernels(use_compiled: Optional[bool]):
+    """The compiled kernel module when the tier is enabled, else ``None``."""
+    from .. import _compiled
+    if _compiled.compiled_enabled(use_compiled):
+        return _compiled.load_kernels()
+    return None
 
 __all__ = [
     "DEFAULT_BLOCK_PAIRS",
@@ -108,13 +116,18 @@ def _oriented_pair_count(graph: Graph) -> int:
 
 
 def triangle_counts_engine(graph: Graph,
-                           block_pairs: int = DEFAULT_BLOCK_PAIRS
+                           block_pairs: int = DEFAULT_BLOCK_PAIRS,
+                           use_compiled: Optional[bool] = None
                            ) -> np.ndarray:
     """Exact per-vertex triangle counts, block-vectorized.
 
     Array-identical to the seed loop implementation
     (``repro.graph.properties.triangle_counts(..., use_engine=False)``):
     counts are exact integers, so no floating-point subtleties arise.
+    With the compiled tier enabled (``use_compiled``/``REPRO_COMPILED``) the
+    wedge join is replaced by a per-apex merge-intersection over the oriented
+    CSR (:func:`repro._compiled.kernels.oriented_triangle_join`) — same
+    counts, no O(wedges) temporaries.
     """
     num_vertices = graph.num_vertices
     counts = np.zeros(num_vertices, dtype=np.int64)
@@ -139,6 +152,14 @@ def triangle_counts_engine(graph: Graph,
     out_heads = edge_keys // num_vertices
     out_tails = edge_keys % num_vertices
     out_degrees = np.bincount(out_heads, minlength=num_vertices)
+
+    compiled = _compiled_kernels(use_compiled)
+    if compiled is not None:
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(out_degrees, out=indptr[1:])
+        tri_by_rank = compiled.oriented_triangle_join(
+            indptr, np.ascontiguousarray(out_tails), num_vertices)
+        return tri_by_rank[rank]
 
     tri_by_rank = np.zeros(num_vertices, dtype=np.int64)
     pair_counts = np.repeat(out_degrees, out_degrees) - 1 - (
@@ -184,7 +205,8 @@ def local_clustering_from_triangles(graph: Graph,
 
 
 def sampled_triangle_stats_engine(graph: Graph, sample_size: int, seed: int,
-                                  block_pairs: int = DEFAULT_BLOCK_PAIRS
+                                  block_pairs: int = DEFAULT_BLOCK_PAIRS,
+                                  use_compiled: Optional[bool] = None
                                   ) -> Tuple[float, float]:
     """Sampled mean-triangles / mean-LCC estimates, engine-backed.
 
@@ -211,7 +233,8 @@ def sampled_triangle_stats_engine(graph: Graph, sample_size: int, seed: int,
         # wedges despite covering every vertex.  Both produce the exact
         # per-vertex triangle counts, so the estimate is identical; only the
         # enumeration cost differs.
-        tri_of = triangle_counts_engine(graph, block_pairs)
+        tri_of = triangle_counts_engine(graph, block_pairs,
+                                        use_compiled=use_compiled)
     elif total_positions:
         run_starts = np.cumsum(sample_degrees) - sample_degrees
         positions = (np.arange(total_positions, dtype=np.int64)

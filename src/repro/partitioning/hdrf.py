@@ -39,22 +39,31 @@ class HDRFPartitioner(EdgePartitioner):
         Use the blocked scoring kernel (:mod:`.kernels`).  The kernel produces
         assignments identical to the sequential loop; ``False`` is the escape
         hatch that keeps the original per-edge formulation.
+    use_compiled:
+        Per-instance override of the compiled kernel tier
+        (:mod:`repro._compiled`): ``True``/``False`` force it on/off,
+        ``None`` (default) defers to the ``REPRO_COMPILED`` environment
+        flag.  Without numba installed the numpy kernel always runs;
+        assignments are identical on every tier.
     """
 
     name = "hdrf"
     category = PartitionerCategory.STATEFUL_STREAMING
 
     def __init__(self, balance_weight: float = 1.0, seed: int = 0,
-                 use_kernel: bool = True) -> None:
+                 use_kernel: bool = True,
+                 use_compiled: bool = None) -> None:
         super().__init__(seed=seed)
         self.balance_weight = balance_weight
         self.use_kernel = use_kernel
+        self.use_compiled = use_compiled
 
     def partition(self, graph: Graph, num_partitions: int) -> EdgePartition:
         if self.use_kernel:
             assignment = hdrf_kernel_assign(graph.src, graph.dst,
                                             graph.num_vertices, num_partitions,
-                                            self.balance_weight)
+                                            self.balance_weight,
+                                            use_compiled=self.use_compiled)
         else:
             assignment = self._partition_loop(graph, num_partitions)
         return EdgePartition(graph, num_partitions, assignment, self.name)

@@ -45,18 +45,24 @@ class HybridEdgePartitioner(EdgePartitioner):
         phase.  The kernel produces assignments identical to the sequential
         loop; ``False`` is the escape hatch that keeps the original per-edge
         formulation.
+    use_compiled:
+        Per-instance override of the compiled kernel tier
+        (:mod:`repro._compiled`) for the streaming phase; ``None`` defers
+        to ``REPRO_COMPILED``.  Assignments are identical on every tier.
     """
 
     category = PartitionerCategory.HYBRID
 
     def __init__(self, tau: float = 10.0, balance_slack: float = 1.05,
-                 seed: int = 0, use_kernel: bool = True) -> None:
+                 seed: int = 0, use_kernel: bool = True,
+                 use_compiled: bool = None) -> None:
         super().__init__(seed=seed)
         if tau <= 0:
             raise ValueError("tau must be positive")
         self.tau = tau
         self.balance_slack = balance_slack
         self.use_kernel = use_kernel
+        self.use_compiled = use_compiled
         self.name = f"hep{int(tau)}" if float(tau).is_integer() else f"hep{tau}"
 
     # ------------------------------------------------------------------ #
@@ -81,7 +87,8 @@ class HybridEdgePartitioner(EdgePartitioner):
             capacity = self.balance_slack * graph.num_edges / k
             if self.use_kernel:
                 hep_kernel_stream(graph.src, graph.dst, degrees, k,
-                                  assignment, streamed_edges, capacity)
+                                  assignment, streamed_edges, capacity,
+                                  use_compiled=self.use_compiled)
             else:
                 self._stream_remaining(graph, k, assignment, streamed_edges,
                                        capacity)

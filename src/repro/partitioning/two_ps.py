@@ -44,17 +44,23 @@ class TwoPhaseStreamingPartitioner(EdgePartitioner):
         Use the blocked scoring kernel (:mod:`.kernels`).  The kernel produces
         assignments identical to the sequential loop; ``False`` is the escape
         hatch that keeps the original per-edge formulation.
+    use_compiled:
+        Per-instance override of the compiled kernel tier
+        (:mod:`repro._compiled`); ``None`` defers to ``REPRO_COMPILED``.
+        Assignments are identical on every tier.
     """
 
     name = "2ps"
     category = PartitionerCategory.STATEFUL_STREAMING
 
     def __init__(self, balance_slack: float = 1.05, balance_weight: float = 1.0,
-                 seed: int = 0, use_kernel: bool = True) -> None:
+                 seed: int = 0, use_kernel: bool = True,
+                 use_compiled: bool = None) -> None:
         super().__init__(seed=seed)
         self.balance_slack = balance_slack
         self.balance_weight = balance_weight
         self.use_kernel = use_kernel
+        self.use_compiled = use_compiled
 
     # ------------------------------------------------------------------ #
     def _clustering_phase(self, graph: Graph, capacity: float) -> np.ndarray:
@@ -121,7 +127,8 @@ class TwoPhaseStreamingPartitioner(EdgePartitioner):
         if self.use_kernel:
             assignment = two_ps_kernel_assign(
                 graph.src, graph.dst, graph.num_vertices, k, preferred,
-                capacity, self.balance_weight)
+                capacity, self.balance_weight,
+                use_compiled=self.use_compiled)
         else:
             assignment = self._assign_loop(graph, k, preferred, capacity)
         return EdgePartition(graph, k, assignment, self.name)

@@ -68,16 +68,27 @@ class GraphRef:
 
 @dataclass(frozen=True)
 class PropertiesJob:
-    """Compute the :class:`GraphProperties` of one graph."""
+    """Compute the :class:`GraphProperties` of one graph.
+
+    ``mode`` selects exact or sketch-based (``"approximate"``) extraction;
+    approximate jobs carry their wedge budget in the key so estimates under
+    different budgets — and estimates vs. exact values — never share an
+    artifact.  Exact jobs keep the legacy four-element key.
+    """
 
     graph_fingerprint: str
     exact_triangles: bool
     seed: int
+    mode: str = "exact"
+    wedge_budget: Optional[int] = None
 
     @property
     def key(self):
+        if self.mode == "exact":
+            return ("properties", self.graph_fingerprint,
+                    self.exact_triangles, self.seed)
         return ("properties", self.graph_fingerprint, self.exact_triangles,
-                self.seed)
+                self.seed, self.mode, self.wedge_budget)
 
 
 @dataclass(frozen=True)

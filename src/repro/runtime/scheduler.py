@@ -83,7 +83,7 @@ def build_task_graph(plan: ProfilePlan, repeats: int = 1) -> TaskGraph:
     graph = TaskGraph()
     for job in plan.properties_jobs():
         graph.add(PropertiesTask(job.graph_fingerprint, job.exact_triangles,
-                                 job.seed))
+                                 job.seed, job.mode, job.wedge_budget))
     for unit in plan.work_units():
         unit_key = (unit.graph_fingerprint, unit.partitioner,
                     unit.num_partitions)

@@ -84,16 +84,27 @@ def _resolve_partition(graph: Graph, partition_task_id: TaskId,
 
 @dataclass(frozen=True)
 class PropertiesTask:
-    """Compute the :class:`GraphProperties` of one graph content."""
+    """Compute the :class:`GraphProperties` of one graph content.
+
+    ``mode="approximate"`` runs the bounded sketch estimators under
+    ``wedge_budget``; its ``task_id`` (and hence artifact key) carries the
+    mode and budget so approximate results never shadow exact ones.  Exact
+    tasks keep the legacy four-element id, preserving warm caches.
+    """
 
     graph_fingerprint: str
     exact_triangles: bool
     seed: int
+    mode: str = "exact"
+    wedge_budget: Optional[int] = None
 
     @property
     def task_id(self) -> TaskId:
+        if self.mode == "exact":
+            return ("properties", self.graph_fingerprint,
+                    self.exact_triangles, self.seed)
         return ("properties", self.graph_fingerprint, self.exact_triangles,
-                self.seed)
+                self.seed, self.mode, self.wedge_budget)
 
     @property
     def dependencies(self) -> Tuple[TaskId, ...]:
@@ -117,7 +128,8 @@ class PropertiesTask:
             return {"properties": cached, "computed": 0}
         properties = compute_properties(graph,
                                         exact_triangles=self.exact_triangles,
-                                        seed=self.seed)
+                                        seed=self.seed, mode=self.mode,
+                                        wedge_budget=self.wedge_budget)
         store.put(self.task_id, properties)
         return {"properties": properties, "computed": 1}
 

@@ -35,7 +35,10 @@ Endpoints:
     Body: ``{"graph": {...}}`` or ``{"properties": {...}}`` or
     ``{"graph_fingerprint": "..."}`` plus ``algorithm``/``num_partitions``
     (+ ``goal`` for select, optional ``num_iterations``, optional
-    ``model`` routing tag).
+    ``model`` routing tag, optional ``properties_mode``:
+    ``"exact"``/``"approximate"``).  Approximate-mode responses carry a
+    ``properties_extraction`` object with the estimator's error bounds and
+    budget accounting.
 """
 
 from __future__ import annotations
@@ -175,9 +178,13 @@ def parse_job_payload(payload: Dict, require_goal: bool,
             not isinstance(num_iterations, int)
             or isinstance(num_iterations, bool) or num_iterations < 1):
         raise BadRequest("'num_iterations' must be a positive integer")
+    properties_mode = payload.get("properties_mode", "exact")
+    if properties_mode not in ("exact", "approximate"):
+        raise BadRequest("'properties_mode' must be 'exact' or 'approximate'")
     return {"graph": graph, "algorithm": algorithm,
             "num_partitions": num_partitions, "goal": goal,
-            "num_iterations": num_iterations}
+            "num_iterations": num_iterations,
+            "properties_mode": properties_mode}
 
 
 def _header(headers, name: str) -> Optional[str]:
@@ -333,17 +340,30 @@ class RequestCore:
                                     require_goal=path == "/v1/select",
                                     resolver=resolver)
             try:
+                graph = job["graph"]
+                properties_mode = job["properties_mode"]
+                extraction_info = None
+                if properties_mode == "approximate":
+                    # Resolve once with metadata so the response can carry
+                    # the estimator's error bounds; the resolved properties
+                    # flow into the selection path directly (no second
+                    # extraction, no double counting).
+                    graph, extraction_info = \
+                        service.resolve_properties_with_info(
+                            graph, properties_mode)
                 if path == "/v1/select":
                     result = service.select(
-                        job["graph"], job["algorithm"],
+                        graph, job["algorithm"],
                         job["num_partitions"], goal=job["goal"],
-                        num_iterations=job["num_iterations"])
+                        num_iterations=job["num_iterations"],
+                        properties_mode=properties_mode)
                     answer = _selection_payload(result)
                 else:
                     scores = service.predict(
-                        job["graph"], job["algorithm"],
+                        graph, job["algorithm"],
                         job["num_partitions"],
-                        num_iterations=job["num_iterations"])
+                        num_iterations=job["num_iterations"],
+                        properties_mode=properties_mode)
                     answer = {
                         "algorithm": job["algorithm"],
                         "num_partitions": job["num_partitions"],
@@ -352,6 +372,8 @@ class RequestCore:
                 # e.g. an algorithm without a trained model
                 return self.error(400, str(error))
             answer["model"] = tag
+            if extraction_info is not None:
+                answer["properties_extraction"] = extraction_info
             return Response(200, answer)
         finally:
             gate.release()

@@ -43,8 +43,10 @@ from ..graph import (
     GraphProperties,
     GraphStore,
     GraphStoreError,
+    approximate_properties,
     compute_properties_batch,
 )
+from ..graph.sketches import DEFAULT_WEDGE_BUDGET
 from ..ease.pipeline import EASE
 from ..ease.selector import (
     OptimizationGoal,
@@ -160,7 +162,14 @@ class GraphResolver:
 
 @dataclass
 class ServiceStats:
-    """Request/batch accounting of one service instance."""
+    """Request/batch accounting of one service instance.
+
+    ``approximate_hits`` counts requests answered with approximate-mode
+    (sketch-based) properties; ``budget_exhausted`` the subset whose
+    extraction actually sampled because exhaustive counting would have
+    blown the wedge budget (the rest fit and got exact values).  Both
+    surface per model tag through ``/healthz``.
+    """
 
     requests: int = 0
     batches: int = 0
@@ -170,6 +179,8 @@ class ServiceStats:
     property_cache_misses: int = 0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
+    approximate_hits: int = 0
+    budget_exhausted: int = 0
 
     def mean_batch_size(self) -> float:
         return self.batched_requests / self.batches if self.batches else 0.0
@@ -182,7 +193,9 @@ class ServiceStats:
                 "property_cache_hits": self.property_cache_hits,
                 "property_cache_misses": self.property_cache_misses,
                 "result_cache_hits": self.result_cache_hits,
-                "result_cache_misses": self.result_cache_misses}
+                "result_cache_misses": self.result_cache_misses,
+                "approximate_hits": self.approximate_hits,
+                "budget_exhausted": self.budget_exhausted}
 
 
 @dataclass
@@ -233,6 +246,11 @@ class SelectionService:
         Admission-control bound: at most this many requests may be between
         admission and response on this service at once; overflow is shed
         with HTTP 429 by the request core.  ``None`` admits everything.
+    approximate_wedge_budget:
+        Wedge-sample cap of approximate-mode property extraction
+        (``properties_mode="approximate"`` requests).  Bounds the first-hit
+        latency of any single graph regardless of its size.  ``None`` uses
+        :data:`repro.graph.sketches.DEFAULT_WEDGE_BUDGET`.
 
     The micro-batcher only runs between :meth:`start` and :meth:`stop` (or
     inside a ``with`` block); an unstarted service executes every request
@@ -248,13 +266,19 @@ class SelectionService:
                  result_cache_size: int = 4096,
                  graph_store: Optional[Union[GraphStore, str,
                                              GraphResolver]] = None,
-                 max_inflight: Optional[int] = None) -> None:
+                 max_inflight: Optional[int] = None,
+                 approximate_wedge_budget: Optional[int] = None) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_wait_seconds < 0:
             raise ValueError("batch_wait_seconds must be >= 0")
         if result_cache_size < 0:
             raise ValueError("result_cache_size must be >= 0")
+        if approximate_wedge_budget is None:
+            approximate_wedge_budget = DEFAULT_WEDGE_BUDGET
+        if approximate_wedge_budget < 1:
+            raise ValueError("approximate_wedge_budget must be >= 1")
+        self.approximate_wedge_budget = approximate_wedge_budget
         self.system = system
         self.model_info = dict(model_info or {})
         self.max_batch_size = max_batch_size
@@ -268,7 +292,9 @@ class SelectionService:
         self.admission = AdmissionGate(max_inflight)
         self.stats = ServiceStats()
         self.started_at = time.time()
-        self._properties: "OrderedDict[str, GraphProperties]" = OrderedDict()
+        # Keyed by (fingerprint, mode key) -> (properties, extraction info);
+        # exact and approximate extractions of the same graph never collide.
+        self._properties: "OrderedDict[Tuple, Tuple[GraphProperties, Optional[Dict]]]" = OrderedDict()
         self._results: "OrderedDict[Tuple, SelectionResult]" = OrderedDict()
         # Bumped under _lock on every model swap; guards against a batch in
         # flight during reload() writing old-model results into the cache.
@@ -383,73 +409,154 @@ class SelectionService:
     # ------------------------------------------------------------------ #
     # Property memoization
     # ------------------------------------------------------------------ #
-    def resolve_properties(self, graph: Union[Graph, GraphProperties]
+    PROPERTIES_MODES = ("exact", "approximate")
+
+    def _properties_mode_key(self, properties_mode: str):
+        """Cache-key component of one extraction mode.
+
+        Approximate keys carry the wedge budget: a service reconfigured (or
+        a cache entry produced) under a different budget must not answer for
+        this one.
+        """
+        if properties_mode == "exact":
+            return "exact"
+        return ("approximate", self.approximate_wedge_budget)
+
+    def resolve_properties(self, graph: Union[Graph, GraphProperties],
+                           properties_mode: str = "exact"
                            ) -> GraphProperties:
         """Graph properties memoized by content fingerprint (LRU)."""
-        return self.resolve_properties_batch([graph])[0]
+        return self.resolve_properties_batch([graph], properties_mode)[0]
+
+    def resolve_properties_with_info(self,
+                                     graph: Union[Graph, GraphProperties],
+                                     properties_mode: str = "exact"
+                                     ) -> Tuple[GraphProperties,
+                                                Optional[Dict]]:
+        """Properties plus extraction metadata (error bounds, budget use).
+
+        The info dictionary is ``None`` for exact extractions and for
+        precomputed-properties submissions; approximate extractions return
+        the :meth:`~repro.graph.sketches.ApproximateTriangleStats.as_dict`
+        payload that the request core surfaces as ``properties_extraction``.
+        """
+        return self._resolve_entries([graph], [properties_mode])[0]
 
     def resolve_properties_batch(self,
                                  graphs: Sequence[Union[Graph,
-                                                        GraphProperties]]
-                                 ) -> List[GraphProperties]:
+                                                        GraphProperties]],
+                                 properties_mode: Union[str, Sequence[str]]
+                                 = "exact") -> List[GraphProperties]:
         """Batched property resolution: one engine call for all cache misses.
 
         Cold-starting a corpus of unseen graphs therefore costs a single
         :func:`repro.graph.compute_properties_batch` invocation — content
         duplicates collapse to one computation, each distinct graph runs one
         vectorized engine pass — instead of one per-request extraction
-        round-trip through the service cache.
+        round-trip through the service cache.  ``properties_mode`` is one
+        mode for the whole batch or one per graph; approximate-mode misses
+        run the bounded sketch estimators instead.
         """
-        resolved: List[Optional[GraphProperties]] = [None] * len(graphs)
+        if isinstance(properties_mode, str):
+            modes = [properties_mode] * len(graphs)
+        else:
+            modes = list(properties_mode)
+        return [properties
+                for properties, _ in self._resolve_entries(graphs, modes)]
+
+    def _resolve_entries(self, graphs: Sequence[Union[Graph,
+                                                      GraphProperties]],
+                         modes: Sequence[str]
+                         ) -> List[Tuple[GraphProperties, Optional[Dict]]]:
+        for mode in modes:
+            if mode not in self.PROPERTIES_MODES:
+                raise ValueError(
+                    f"unknown properties_mode {mode!r}; "
+                    f"expected one of {list(self.PROPERTIES_MODES)}")
+        resolved: List[Optional[Tuple[GraphProperties, Optional[Dict]]]] = \
+            [None] * len(graphs)
         # Hash outside the lock: fingerprinting reads the full edge arrays,
         # and serializing every request thread on it would gut the
         # concurrency the micro-batcher exists to exploit.
-        fingerprints: List[Optional[str]] = [None] * len(graphs)
+        cache_keys: List[Optional[Tuple]] = [None] * len(graphs)
         for position, graph in enumerate(graphs):
             if isinstance(graph, GraphProperties):
-                resolved[position] = graph
+                resolved[position] = (graph, None)
             else:
-                fingerprints[position] = graph_fingerprint(graph)
-        missing: "OrderedDict[str, Graph]" = OrderedDict()
+                cache_keys[position] = (graph_fingerprint(graph),
+                                        self._properties_mode_key(
+                                            modes[position]))
+        missing: "OrderedDict[Tuple, Tuple[Graph, str]]" = OrderedDict()
         with self._lock:
-            for position, fingerprint in enumerate(fingerprints):
-                if fingerprint is None:
+            for position, cache_key in enumerate(cache_keys):
+                if cache_key is None:
                     continue
-                cached = self._properties.get(fingerprint)
+                cached = self._properties.get(cache_key)
                 if cached is not None:
-                    self._properties.move_to_end(fingerprint)
+                    self._properties.move_to_end(cache_key)
                     self.stats.property_cache_hits += 1
                     resolved[position] = cached
                 else:
                     self.stats.property_cache_misses += 1
-                    missing.setdefault(fingerprint, graphs[position])
+                    missing.setdefault(cache_key,
+                                       (graphs[position], modes[position]))
         if missing:
-            # Same settings as PartitionerSelector._resolve_properties, so
-            # cached and uncached requests answer identically.
-            computed = compute_properties_batch(list(missing.values()),
-                                                exact_triangles=False)
-            by_fingerprint = dict(zip(missing.keys(), computed))
+            computed: Dict[Tuple, Tuple[GraphProperties, Optional[Dict]]] = {}
+            exact_keys = [key for key, (_, mode) in missing.items()
+                          if mode == "exact"]
+            if exact_keys:
+                # Same settings as PartitionerSelector._resolve_properties,
+                # so cached and uncached requests answer identically.
+                exact_props = compute_properties_batch(
+                    [missing[key][0] for key in exact_keys],
+                    exact_triangles=False)
+                for key, properties in zip(exact_keys, exact_props):
+                    computed[key] = (properties, None)
+            for key, (graph, mode) in missing.items():
+                if mode == "exact":
+                    continue
+                properties, stats = approximate_properties(
+                    graph, wedge_budget=self.approximate_wedge_budget)
+                computed[key] = (properties,
+                                 {"mode": "approximate", **stats.as_dict()})
             with self._lock:
-                for fingerprint, properties in by_fingerprint.items():
-                    self._properties[fingerprint] = properties
-                    self._properties.move_to_end(fingerprint)
+                for cache_key, entry in computed.items():
+                    self._properties[cache_key] = entry
+                    self._properties.move_to_end(cache_key)
                 while len(self._properties) > self.property_cache_size:
                     self._properties.popitem(last=False)
-            for position, fingerprint in enumerate(fingerprints):
-                if resolved[position] is None and fingerprint is not None:
-                    resolved[position] = by_fingerprint[fingerprint]
+            for position, cache_key in enumerate(cache_keys):
+                if resolved[position] is None and cache_key is not None:
+                    resolved[position] = computed[cache_key]
+        # Approximate-mode accounting counts per request (hits included):
+        # the /healthz counters track how much serving traffic runs on
+        # estimates, not how many extractions were performed.
+        approximate_hits = 0
+        exhausted = 0
+        for position, mode in enumerate(modes):
+            if mode != "approximate" or cache_keys[position] is None:
+                continue
+            approximate_hits += 1
+            info = resolved[position][1]
+            if info is not None and info.get("budget_exhausted"):
+                exhausted += 1
+        if approximate_hits:
+            with self._lock:
+                self.stats.approximate_hits += approximate_hits
+                self.stats.budget_exhausted += exhausted
         return resolved
 
     # ------------------------------------------------------------------ #
     # Result memoization and model reload
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _result_key(request: SelectionRequest) -> Tuple:
+    def _result_key(self, request: SelectionRequest) -> Tuple:
         """Cache key of a property-resolved request.
 
         Properties enter by value (their eight floats), so two different
         graphs with identical properties — or a precomputed-properties
-        request matching a graph request — share the cached outcome.
+        request matching a graph request — share the cached outcome.  The
+        extraction-mode key keeps exact and approximate outcomes apart even
+        when the estimated features happen to coincide.
         """
         properties = request.graph
         return (properties.num_edges, properties.num_vertices,
@@ -459,7 +566,8 @@ class SelectionService:
                 properties.mean_triangles,
                 properties.mean_local_clustering,
                 request.algorithm, request.num_partitions, request.goal,
-                request.num_iterations)
+                request.num_iterations,
+                self._properties_mode_key(request.properties_mode))
 
     def invalidate_result_cache(self) -> int:
         """Drop all memoized selection outcomes; returns the entry count."""
@@ -520,6 +628,10 @@ class SelectionService:
                              f"{list(algorithms)}")
         if request.num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
+        if request.properties_mode not in self.PROPERTIES_MODES:
+            raise ValueError(
+                f"unknown properties_mode {request.properties_mode!r}; "
+                f"expected one of {list(self.PROPERTIES_MODES)}")
         return request
 
     def submit(self, request: SelectionRequest) -> "Future[SelectionResult]":
@@ -543,7 +655,8 @@ class SelectionService:
         for request in requests:
             self._validate(request)
         properties = self.resolve_properties_batch(
-            [request.graph for request in requests])
+            [request.graph for request in requests],
+            [request.properties_mode for request in requests])
         futures: List[Future] = []
         misses: List[_Pending] = []
         for request, props in zip(requests, properties):
@@ -552,7 +665,8 @@ class SelectionService:
                 algorithm=request.algorithm,
                 num_partitions=request.num_partitions,
                 goal=request.goal,
-                num_iterations=request.num_iterations)
+                num_iterations=request.num_iterations,
+                properties_mode=request.properties_mode)
             key = (self._result_key(resolved)
                    if self.result_cache_size else None)
             cached = None
@@ -596,18 +710,22 @@ class SelectionService:
     def select(self, graph: Union[Graph, GraphProperties], algorithm: str,
                num_partitions: int, goal: str = OptimizationGoal.END_TO_END,
                num_iterations: Optional[int] = None,
-               timeout: Optional[float] = None) -> SelectionResult:
+               timeout: Optional[float] = None,
+               properties_mode: str = "exact") -> SelectionResult:
         """Select a partitioner (blocking; coalesced when the worker runs)."""
         return self.submit(SelectionRequest(
             graph=graph, algorithm=algorithm, num_partitions=num_partitions,
-            goal=goal, num_iterations=num_iterations)).result(timeout=timeout)
+            goal=goal, num_iterations=num_iterations,
+            properties_mode=properties_mode)).result(timeout=timeout)
 
     def predict(self, graph: Union[Graph, GraphProperties], algorithm: str,
                 num_partitions: int, num_iterations: Optional[int] = None,
-                timeout: Optional[float] = None) -> List[PartitionerScore]:
+                timeout: Optional[float] = None,
+                properties_mode: str = "exact") -> List[PartitionerScore]:
         """Per-candidate cost predictions (same batched path as select)."""
         result = self.select(graph, algorithm, num_partitions,
-                             num_iterations=num_iterations, timeout=timeout)
+                             num_iterations=num_iterations, timeout=timeout,
+                             properties_mode=properties_mode)
         return result.scores
 
     # ------------------------------------------------------------------ #
@@ -693,5 +811,6 @@ class SelectionService:
             "partitioners": list(self.system.partitioner_names),
             "queue_depth": self._queue.qsize(),
             "admission": self.admission.as_dict(),
+            "approximate_wedge_budget": self.approximate_wedge_budget,
             "stats": self.stats.as_dict(),
         }

@@ -1,0 +1,286 @@
+"""Tests for the optional compiled kernel tier (:mod:`repro._compiled`).
+
+The compiled tier is held to an *identical results* contract, not a
+statistical one: with the flag on, every partitioner assignment and every
+triangle count must match the pure-numpy reference bit for bit.  Since numba
+is an optional dependency the suite must prove that contract in both worlds:
+
+* without numba, the kernel *sources* (plain Python under the no-op ``njit``
+  stand-in) are routed through the real dispatch sites by patching
+  ``numba_available`` — same code path production would take, minus the jit;
+* with numba installed (the CI ``compiled`` job), the genuinely jitted
+  kernels are compared against the numpy reference directly.
+
+An AST lint also pins the packaging contract: nothing under ``repro``
+outside ``repro._compiled`` may import numba, so ``import repro`` never
+requires the numba toolchain.
+"""
+
+import ast
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro._compiled as _compiled
+from repro._compiled import kernels as kernel_sources
+from repro.generators import generate_rmat
+from repro.graph import Graph
+from repro.graph.property_engine import triangle_counts_engine
+from repro.partitioning import (
+    HDRFPartitioner,
+    HybridEdgePartitioner,
+    TwoPhaseStreamingPartitioner,
+)
+
+#: Both sides of the int64 replica-bitmask cutoff plus a dense large k: the
+#: k > 63 rows are exactly the cliff the compiled tier exists to remove.
+COMPILED_K_GRID = (2, 63, 64, 100)
+
+
+@pytest.fixture
+def forced_compiled(monkeypatch):
+    """Route ``use_compiled=True`` through the kernel sources without numba.
+
+    ``compiled_enabled`` refuses to engage unless numba actually jitted the
+    kernels (interpreting the loops would be slower than numpy, never
+    faster).  Patching ``numba_available`` to ``True`` makes every dispatch
+    site take the compiled branch while the kernel module still runs as
+    plain Python — the only way a numba-less environment can exercise the
+    production dispatch path end to end.
+    """
+    monkeypatch.setattr(_compiled, "numba_available", lambda: True)
+
+
+def _graph(edges, num_vertices=None):
+    if edges:
+        src, dst = (np.array(side, dtype=np.int64) for side in zip(*edges))
+    else:
+        src = dst = np.array([], dtype=np.int64)
+    return Graph(src, dst, num_vertices=num_vertices)
+
+
+class TestFlagResolution:
+    """REPRO_COMPILED / use_compiled= resolution semantics."""
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " On "])
+    def test_env_enabled_true_values(self, monkeypatch, value):
+        monkeypatch.setenv(_compiled.ENV_FLAG, value)
+        assert _compiled.env_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "no", "off", "2", "enabled"])
+    def test_env_enabled_false_values(self, monkeypatch, value):
+        monkeypatch.setenv(_compiled.ENV_FLAG, value)
+        assert not _compiled.env_enabled()
+
+    def test_env_enabled_unset(self, monkeypatch):
+        monkeypatch.delenv(_compiled.ENV_FLAG, raising=False)
+        assert not _compiled.env_enabled()
+
+    def test_explicit_kwarg_beats_environment(self, monkeypatch):
+        monkeypatch.setattr(_compiled, "numba_available", lambda: True)
+        monkeypatch.setenv(_compiled.ENV_FLAG, "1")
+        assert _compiled.compiled_enabled(None)
+        assert not _compiled.compiled_enabled(False)
+        monkeypatch.delenv(_compiled.ENV_FLAG)
+        assert not _compiled.compiled_enabled(None)
+        assert _compiled.compiled_enabled(True)
+
+    def test_never_enabled_without_numba(self, monkeypatch):
+        """A missing numba means fall back, never interpret the loops."""
+        monkeypatch.setattr(_compiled, "numba_available", lambda: False)
+        monkeypatch.setenv(_compiled.ENV_FLAG, "1")
+        assert not _compiled.compiled_enabled(None)
+        assert not _compiled.compiled_enabled(True)
+
+    def test_kernel_sources_importable_without_numba(self):
+        # Regardless of whether numba is installed, the kernel module must
+        # import (the njit stand-in) so parity tests can run its sources.
+        assert _compiled.load_kernels() is kernel_sources
+
+    @pytest.mark.skipif(_compiled.numba_available(),
+                        reason="needs a numba-less environment")
+    def test_env_flag_is_silent_noop_without_numba(self, monkeypatch):
+        """REPRO_COMPILED=1 on a numba-less install changes nothing."""
+        monkeypatch.setenv(_compiled.ENV_FLAG, "1")
+        graph = generate_rmat(96, 500, seed=7)
+        flagged = HDRFPartitioner()(graph, 4).assignment
+        monkeypatch.delenv(_compiled.ENV_FLAG)
+        default = HDRFPartitioner()(graph, 4).assignment
+        np.testing.assert_array_equal(flagged, default)
+        explicit = HDRFPartitioner(use_compiled=True)(graph, 4).assignment
+        np.testing.assert_array_equal(explicit, default)
+
+
+class TestStreamingParity:
+    """Partitioner assignments: compiled dispatch vs numpy reference."""
+
+    @pytest.mark.parametrize("k", COMPILED_K_GRID)
+    def test_hdrf_identical(self, forced_compiled, k):
+        graph = generate_rmat(96, 500, seed=3)
+        compiled = HDRFPartitioner(use_compiled=True)(graph, k).assignment
+        reference = HDRFPartitioner(use_compiled=False)(graph, k).assignment
+        np.testing.assert_array_equal(compiled, reference)
+
+    @given(seed=st.integers(0, 60), k=st.sampled_from(COMPILED_K_GRID),
+           balance_weight=st.sampled_from([1.0, 5.0]))
+    @settings(max_examples=20, deadline=None)
+    def test_hdrf_property_identical(self, seed, k, balance_weight):
+        graph = generate_rmat(96, 500, seed=seed)
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(_compiled, "numba_available", lambda: True)
+            compiled = HDRFPartitioner(balance_weight=balance_weight,
+                                       use_compiled=True)(graph, k).assignment
+        reference = HDRFPartitioner(balance_weight=balance_weight,
+                                    use_compiled=False)(graph, k).assignment
+        np.testing.assert_array_equal(compiled, reference)
+
+    @pytest.mark.parametrize("k", COMPILED_K_GRID)
+    @pytest.mark.parametrize("balance_slack", [1.05, 1.0])
+    def test_2ps_identical(self, forced_compiled, k, balance_slack):
+        # balance_slack=1.0 forces the capacity-overflow (least-loaded) path.
+        graph = generate_rmat(96, 700, seed=11)
+        compiled = TwoPhaseStreamingPartitioner(
+            balance_slack=balance_slack, use_compiled=True)(graph, k)
+        reference = TwoPhaseStreamingPartitioner(
+            balance_slack=balance_slack, use_compiled=False)(graph, k)
+        np.testing.assert_array_equal(compiled.assignment,
+                                      reference.assignment)
+
+    @given(seed=st.integers(0, 60), k=st.sampled_from(COMPILED_K_GRID))
+    @settings(max_examples=15, deadline=None)
+    def test_2ps_property_identical(self, seed, k):
+        graph = generate_rmat(80, 450, seed=seed)
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(_compiled, "numba_available", lambda: True)
+            compiled = TwoPhaseStreamingPartitioner(
+                use_compiled=True)(graph, k)
+        reference = TwoPhaseStreamingPartitioner(use_compiled=False)(graph, k)
+        np.testing.assert_array_equal(compiled.assignment,
+                                      reference.assignment)
+
+    @pytest.mark.parametrize("k", COMPILED_K_GRID)
+    @pytest.mark.parametrize("tau", [1.0, 10.0])
+    def test_hep_identical(self, forced_compiled, k, tau):
+        # Small tau streams most edges, maximising compiled-kernel coverage.
+        graph = generate_rmat(96, 700, seed=5)
+        compiled = HybridEdgePartitioner(tau=tau, use_compiled=True)(graph, k)
+        reference = HybridEdgePartitioner(tau=tau,
+                                          use_compiled=False)(graph, k)
+        np.testing.assert_array_equal(compiled.assignment,
+                                      reference.assignment)
+
+    @given(seed=st.integers(0, 60), k=st.sampled_from(COMPILED_K_GRID))
+    @settings(max_examples=15, deadline=None)
+    def test_hep_property_identical(self, seed, k):
+        graph = generate_rmat(80, 450, seed=seed)
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(_compiled, "numba_available", lambda: True)
+            compiled = HybridEdgePartitioner(
+                tau=1.0, use_compiled=True)(graph, k)
+        reference = HybridEdgePartitioner(tau=1.0,
+                                          use_compiled=False)(graph, k)
+        np.testing.assert_array_equal(compiled.assignment,
+                                      reference.assignment)
+
+
+class TestTriangleJoinParity:
+    """Oriented merge join vs the numpy wedge-enumeration engine."""
+
+    FAMILIES = {
+        "empty": ([], 0),
+        "no_edges": ([], 5),
+        "single_edge": ([(0, 1)], None),
+        "triangle": ([(0, 1), (1, 2), (2, 0)], None),
+        "self_loops": ([(0, 0), (0, 1), (1, 2), (2, 0), (2, 2)], None),
+        "duplicate_edges": ([(0, 1), (1, 0), (0, 1), (1, 2), (2, 0),
+                             (2, 0)], None),
+        "isolated_vertices": ([(2, 3), (3, 4), (4, 2)], 9),
+        "star": ([(0, i) for i in range(1, 12)], None),
+        "clique": ([(i, j) for i in range(8) for j in range(i + 1, 8)],
+                   None),
+        "two_triangles_shared_edge": ([(0, 1), (1, 2), (2, 0), (1, 3),
+                                       (3, 2)], None),
+    }
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_families_identical(self, forced_compiled, family):
+        edges, num_vertices = self.FAMILIES[family]
+        graph = _graph(edges, num_vertices)
+        compiled = triangle_counts_engine(graph, use_compiled=True)
+        reference = triangle_counts_engine(graph, use_compiled=False)
+        np.testing.assert_array_equal(compiled, reference)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rmat_identical(self, forced_compiled, seed):
+        graph = generate_rmat(128, 900, seed=seed)
+        compiled = triangle_counts_engine(graph, use_compiled=True)
+        reference = triangle_counts_engine(graph, use_compiled=False)
+        np.testing.assert_array_equal(compiled, reference)
+
+    @given(edges=st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)),
+                          max_size=160))
+    @settings(max_examples=40, deadline=None)
+    def test_property_identical(self, edges):
+        graph = _graph(edges, num_vertices=25)
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(_compiled, "numba_available", lambda: True)
+            compiled = triangle_counts_engine(graph, use_compiled=True)
+        reference = triangle_counts_engine(graph, use_compiled=False)
+        np.testing.assert_array_equal(compiled, reference)
+
+    def test_join_counts_every_corner_once(self, forced_compiled):
+        # Triangle 0-1-2 plus pendant: each corner participates exactly once.
+        graph = _graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        counts = triangle_counts_engine(graph, use_compiled=True)
+        np.testing.assert_array_equal(counts, [1, 1, 1, 0])
+
+
+class TestNumbaImportLint:
+    """`import repro` must never require (or pay for) the numba toolchain."""
+
+    def test_no_numba_import_outside_compiled_package(self):
+        package_root = (pathlib.Path(__file__).resolve().parent.parent
+                        / "src" / "repro")
+        offenders = []
+        for path in sorted(package_root.rglob("*.py")):
+            if "_compiled" in path.relative_to(package_root).parts:
+                continue
+            tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+            for node in ast.walk(tree):
+                roots = []
+                if isinstance(node, ast.Import):
+                    roots = [alias.name.split(".")[0]
+                             for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                    roots = [(node.module or "").split(".")[0]]
+                if "numba" in roots:
+                    offenders.append(f"{path}:{node.lineno}")
+        assert not offenders, (
+            "numba may only be imported inside repro._compiled; found "
+            + ", ".join(offenders))
+
+
+@pytest.mark.skipif(not _compiled.numba_available(),
+                    reason="numba not installed (the 'compiled' extra)")
+class TestJittedParity:
+    """With real numba (the CI compiled job): jitted results are identical."""
+
+    def test_jitted_partitioners_identical(self):
+        graph = generate_rmat(128, 900, seed=2)
+        for k in COMPILED_K_GRID:
+            for factory in (
+                    lambda c: HDRFPartitioner(use_compiled=c),
+                    lambda c: TwoPhaseStreamingPartitioner(use_compiled=c),
+                    lambda c: HybridEdgePartitioner(tau=1.0, use_compiled=c)):
+                compiled = factory(True)(graph, k).assignment
+                reference = factory(False)(graph, k).assignment
+                np.testing.assert_array_equal(compiled, reference)
+
+    def test_jitted_triangle_join_identical(self):
+        for seed in range(3):
+            graph = generate_rmat(200, 2000, seed=seed)
+            compiled = triangle_counts_engine(graph, use_compiled=True)
+            reference = triangle_counts_engine(graph, use_compiled=False)
+            np.testing.assert_array_equal(compiled, reference)

@@ -1,0 +1,253 @@
+"""Tests for approximate-mode property extraction in the serving stack.
+
+``properties_mode="approximate"`` must flow end to end — request
+validation, bounded extraction, per-mode caching, per-request counters, and
+the ``properties_extraction`` payload of the HTTP frontend — without
+perturbing exact-mode behaviour or its caches.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_rmat
+from repro.graph import GraphProperties, compute_properties
+from repro.graph.property_engine import _oriented_pair_count
+from repro.graph.sketches import DEFAULT_WEDGE_BUDGET
+from repro.ease import EASE, GraphProfiler
+from repro.serving import (
+    ModelRegistry,
+    SelectionClient,
+    SelectionHTTPServer,
+    SelectionService,
+)
+from repro.serving.client import SelectionServiceError
+
+PARTITIONERS = ("2d", "dbh", "ne")
+
+#: Budget small enough that the hub-heavy query graph must sample.
+SMALL_BUDGET = 500
+
+
+@pytest.fixture(scope="module")
+def trained_system():
+    profiler = GraphProfiler(partitioner_names=PARTITIONERS,
+                             partition_counts=(2,),
+                             processing_partition_count=2,
+                             algorithms=("pagerank",))
+    graphs = [generate_rmat(96, 500 + 150 * s, seed=s, graph_type="rmat")
+              for s in range(4)]
+    return EASE(partitioner_names=PARTITIONERS).train(
+        profiler.profile(graphs, graphs))
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    """Query graph whose exact wedge enumeration overflows SMALL_BUDGET."""
+    graph = generate_rmat(256, 2000, seed=1)
+    assert _oriented_pair_count(graph) > SMALL_BUDGET
+    return graph
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    """Query graph that fits inside SMALL_BUDGET (exact shortcut)."""
+    graph = generate_rmat(48, 150, seed=2)
+    assert _oriented_pair_count(graph) <= SMALL_BUDGET
+    return graph
+
+
+def _service(trained_system, **kwargs):
+    kwargs.setdefault("approximate_wedge_budget", SMALL_BUDGET)
+    return SelectionService(trained_system, **kwargs)
+
+
+class TestServiceConfiguration:
+    def test_default_budget(self, trained_system):
+        assert (SelectionService(trained_system).approximate_wedge_budget
+                == DEFAULT_WEDGE_BUDGET)
+
+    @pytest.mark.parametrize("budget", [0, -10])
+    def test_invalid_budget_rejected(self, trained_system, budget):
+        with pytest.raises(ValueError):
+            SelectionService(trained_system,
+                             approximate_wedge_budget=budget)
+
+    def test_health_reports_budget_and_counters(self, trained_system):
+        health = _service(trained_system).health()
+        assert health["approximate_wedge_budget"] == SMALL_BUDGET
+        assert health["stats"]["approximate_hits"] == 0
+        assert health["stats"]["budget_exhausted"] == 0
+
+
+class TestApproximateSelection:
+    def test_select_validates_mode(self, trained_system, big_graph):
+        service = _service(trained_system)
+        with pytest.raises(ValueError):
+            service.select(big_graph, "pagerank", 2, properties_mode="fuzzy")
+
+    def test_approximate_select_returns_valid_choice(self, trained_system,
+                                                     big_graph):
+        result = _service(trained_system).select(
+            big_graph, "pagerank", 2, properties_mode="approximate")
+        assert result.selected in PARTITIONERS
+
+    def test_counters_track_every_approximate_request(self, trained_system,
+                                                      big_graph):
+        service = _service(trained_system)
+        service.select(big_graph, "pagerank", 2,
+                       properties_mode="approximate")
+        assert service.stats.approximate_hits == 1
+        assert service.stats.budget_exhausted == 1  # sampling engaged
+        # A repeat is served from the property cache but still counts: the
+        # counters track requests answered on estimates, not extractions.
+        service.select(big_graph, "pagerank", 2,
+                       properties_mode="approximate")
+        assert service.stats.approximate_hits == 2
+        assert service.stats.budget_exhausted == 2
+        assert service.stats.property_cache_hits >= 1
+
+    def test_exact_requests_leave_counters_alone(self, trained_system,
+                                                 big_graph):
+        service = _service(trained_system)
+        service.select(big_graph, "pagerank", 2)
+        service.select(big_graph, "pagerank", 2, properties_mode="exact")
+        assert service.stats.approximate_hits == 0
+        assert service.stats.budget_exhausted == 0
+
+    def test_exact_within_budget_not_counted_exhausted(self, trained_system,
+                                                       small_graph):
+        service = _service(trained_system)
+        service.select(small_graph, "pagerank", 2,
+                       properties_mode="approximate")
+        assert service.stats.approximate_hits == 1
+        assert service.stats.budget_exhausted == 0
+
+
+class TestResolveWithInfo:
+    def test_approximate_info_payload(self, trained_system, big_graph):
+        service = _service(trained_system)
+        properties, info = service.resolve_properties_with_info(
+            big_graph, "approximate")
+        assert isinstance(properties, GraphProperties)
+        assert info["mode"] == "approximate"
+        assert info["wedge_budget"] == SMALL_BUDGET
+        assert info["budget_exhausted"] is True and info["exact"] is False
+        estimate = info["mean_triangles"]
+        assert estimate["lower"] <= estimate["value"] <= estimate["upper"]
+        assert properties.mean_triangles == estimate["value"]
+
+    def test_exact_shortcut_info(self, trained_system, small_graph):
+        service = _service(trained_system)
+        _, info = service.resolve_properties_with_info(small_graph,
+                                                       "approximate")
+        assert info["exact"] is True and info["budget_exhausted"] is False
+        estimate = info["mean_triangles"]
+        assert estimate["lower"] == estimate["value"] == estimate["upper"]
+
+    def test_exact_mode_has_no_info(self, trained_system, small_graph):
+        service = _service(trained_system)
+        _, info = service.resolve_properties_with_info(small_graph, "exact")
+        assert info is None
+
+    def test_precomputed_properties_pass_through(self, trained_system,
+                                                 big_graph):
+        service = _service(trained_system)
+        precomputed = compute_properties(big_graph, exact_triangles=False)
+        resolved, info = service.resolve_properties_with_info(
+            precomputed, "approximate")
+        assert resolved is precomputed and info is None
+        assert service.stats.approximate_hits == 0  # nothing was estimated
+
+
+class TestModeCacheSeparation:
+    def test_property_cache_keeps_modes_apart(self, trained_system,
+                                              big_graph):
+        service = _service(trained_system)
+        exact = service.resolve_properties(big_graph, "exact")
+        approx = service.resolve_properties(big_graph, "approximate")
+        assert len(service._properties) == 2
+        assert exact.mean_triangles != approx.mean_triangles \
+            or exact is not approx
+        # Each mode hits its own entry on repeat.
+        assert service.resolve_properties(big_graph, "exact") is exact
+        assert service.resolve_properties(big_graph, "approximate") is approx
+
+    def test_result_cache_keeps_modes_apart(self, trained_system, big_graph):
+        service = _service(trained_system)
+        service.select(big_graph, "pagerank", 2)
+        service.select(big_graph, "pagerank", 2,
+                       properties_mode="approximate")
+        assert len(service._results) == 2
+
+    def test_batch_accepts_per_graph_modes(self, trained_system, big_graph,
+                                           small_graph):
+        service = _service(trained_system)
+        resolved = service.resolve_properties_batch(
+            [big_graph, small_graph], ["approximate", "exact"])
+        assert len(resolved) == 2
+        assert service.stats.approximate_hits == 1
+        with pytest.raises(ValueError):
+            service.resolve_properties_batch([big_graph], ["fuzzy"])
+
+
+# --------------------------------------------------------------------------- #
+# HTTP frontend
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def live_server(tmp_path, trained_system):
+    registry = ModelRegistry(str(tmp_path / "registry"))
+    entry = registry.publish(trained_system, "ease")
+    registry.promote("ease", entry.version)
+    service = SelectionService.from_registry(
+        registry, "ease", batch_wait_seconds=0.001,
+        approximate_wedge_budget=SMALL_BUDGET)
+    server = SelectionHTTPServer(service, registry=registry, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    with server:
+        thread.start()
+        yield server
+        server.shutdown()
+    thread.join(timeout=5)
+
+
+class TestHTTPApproximate:
+    def test_select_carries_extraction_payload(self, live_server, big_graph):
+        client = SelectionClient(live_server.url)
+        response = client.select(big_graph, "pagerank", 2,
+                                 properties_mode="approximate")
+        assert response["selected"] in PARTITIONERS
+        extraction = response["properties_extraction"]
+        assert extraction["mode"] == "approximate"
+        assert extraction["wedge_budget"] == SMALL_BUDGET
+        assert extraction["budget_exhausted"] is True
+        bounds = extraction["global_clustering"]
+        assert bounds["lower"] <= bounds["value"] <= bounds["upper"]
+
+    def test_exact_select_has_no_extraction_payload(self, live_server,
+                                                    big_graph):
+        response = SelectionClient(live_server.url).select(
+            big_graph, "pagerank", 2)
+        assert "properties_extraction" not in response
+
+    def test_predict_supports_approximate(self, live_server, big_graph):
+        response = SelectionClient(live_server.url).predict(
+            big_graph, "pagerank", 2, properties_mode="approximate")
+        assert len(response["predictions"]) == len(PARTITIONERS)
+        assert response["properties_extraction"]["mode"] == "approximate"
+
+    def test_invalid_mode_is_bad_request(self, live_server, big_graph):
+        client = SelectionClient(live_server.url)
+        with pytest.raises(SelectionServiceError) as excinfo:
+            client.select(big_graph, "pagerank", 2, properties_mode="fuzzy")
+        assert excinfo.value.status == 400
+
+    def test_healthz_surfaces_counters(self, live_server, big_graph):
+        client = SelectionClient(live_server.url)
+        client.select(big_graph, "pagerank", 2,
+                      properties_mode="approximate")
+        health = client.health()
+        assert health["approximate_wedge_budget"] == SMALL_BUDGET
+        assert health["stats"]["approximate_hits"] == 1
+        assert health["stats"]["budget_exhausted"] == 1
