@@ -163,6 +163,61 @@ def report(name: str, text: str) -> None:
         handle.write(text + "\n")
 
 
+def _json_cell(cell):
+    """A table cell as a JSON-serialisable value (numpy scalars unboxed)."""
+    if isinstance(cell, (np.integer,)):
+        return int(cell)
+    if isinstance(cell, (np.floating,)):
+        return float(cell)
+    if isinstance(cell, (int, float, str, bool)) or cell is None:
+        return cell
+    return str(cell)
+
+
+def report_table(name: str, headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "", gates: Optional[Sequence] = None,
+                 notes: str = "") -> None:
+    """Report one result table as text *and* machine-readable JSON.
+
+    The text rendering goes through :func:`report` (stdout +
+    ``results/<name>.txt``, unchanged format); alongside it,
+    ``results/BENCH_<name>.json`` records the headers, the raw rows and the
+    gate verdicts so downstream tooling never parses the fixed-width table.
+
+    ``gates`` is a sequence of ``(gate_name, passed, detail)`` triples —
+    record the verdicts *before* asserting them so a failing run still
+    leaves its JSON behind.  ``notes`` is free-form text appended to the
+    text report and carried verbatim in the JSON.
+    """
+    import json
+
+    rows = [list(row) for row in rows]
+    gate_records = [{"name": gate_name, "passed": bool(passed),
+                     "detail": str(detail)}
+                    for gate_name, passed, detail in (gates or ())]
+    text = format_table(headers, rows, title=title)
+    if gate_records:
+        text += "\n" + "\n".join(
+            f"gate {record['name']}: "
+            f"{'PASS' if record['passed'] else 'FAIL'}  ({record['detail']})"
+            for record in gate_records)
+    if notes:
+        text += "\n" + notes
+    report(name, text)
+    payload = {
+        "benchmark": name,
+        "title": title,
+        "headers": list(headers),
+        "rows": [[_json_cell(cell) for cell in row] for row in rows],
+        "gates": gate_records,
+        "notes": notes,
+    }
+    path = os.path.join(RESULTS_DIRECTORY, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 # --------------------------------------------------------------------------- #
 # Disk cache for the expensive shared fixtures
 # --------------------------------------------------------------------------- #

@@ -13,7 +13,7 @@
 import numpy as np
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.ml import (
     GradientBoostingRegressor,
     OneHotEncoder,
@@ -82,11 +82,11 @@ def test_ablation_quality_metrics_vs_partitioner_identity(
         _alternative2_ablation,
         args=(runtime_training_records, large_test_records),
         rounds=1, iterations=1)
-    report("ablation_alternative2_processing_features", format_table(
+    report_table("ablation_alternative2_processing_features",
         ("algorithm", "MAPE (quality-metric features)",
          "MAPE (partitioner-identity features)"), rows,
         title="Section IV-E Alternative 2: processing-time prediction with "
-              "quality-metric features vs partitioner-identity features"))
+              "quality-metric features vs partitioner-identity features")
     # Both variants must work; the quality-metric features (the paper's
     # choice) should be competitive on average.
     quality_mape = np.mean([row[1] for row in rows])
@@ -117,9 +117,9 @@ def test_ablation_feature_sets_for_replication_factor(
         _feature_set_ablation,
         args=(quality_training_records, test_quality_records),
         rounds=1, iterations=1)
-    report("ablation_feature_sets_replication_factor", format_table(
+    report_table("ablation_feature_sets_replication_factor",
         ("feature set", "MAPE", "RMSE"), rows,
-        title="Feature-set ablation for the replication-factor prediction"))
+        title="Feature-set ablation for the replication-factor prediction")
     by_set = {row[0]: row[1] for row in rows}
     # Richer graph features must not be substantially worse than size-only
     # features (the paper finds basic/advanced roughly comparable).
@@ -151,10 +151,10 @@ def test_model_family_comparison_replication_factor(benchmark,
     table = benchmark.pedantic(_model_family_comparison,
                                args=(quality_training_records,),
                                rounds=1, iterations=1)
-    report("model_family_comparison_replication_factor", format_table(
+    report_table("model_family_comparison_replication_factor",
         ("model family", "cross-validation MAPE"), table,
         title="Section IV-C: model families cross-validated on the "
-              "replication-factor task (synthetic training data)"))
+              "replication-factor task (synthetic training data)")
     scores = dict(table)
     # Tree ensembles should beat the KNN baseline on this task.
     assert min(scores["random_forest"], scores["xgboost"]) <= scores["knn"]

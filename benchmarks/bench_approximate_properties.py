@@ -37,7 +37,7 @@ if __package__ is None or __package__ == "":
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _harness import cached, format_table, report
+from _harness import cached, report_table
 from repro.generators import generate_rmat
 from repro.ease import EASE, GraphProfiler
 from repro.graph.property_engine import _oriented_pair_count
@@ -119,15 +119,17 @@ def run_latency(sizes, samples_per_size: int, wedge_budget: int,
         rows.append((num_vertices, num_edges,
                      _percentile(exact, 0.50), _percentile(exact, 0.99),
                      _percentile(approx, 0.50), p99))
-    table = format_table(
+    report_table(
+        "approximate_properties_latency",
         ("|V|", "|E|", "exact p50 (s)", "exact p99 (s)",
          "approx p50 (s)", "approx p99 (s)"),
         rows,
         title=f"First-hit property-resolution latency, wedge budget "
               f"{wedge_budget}, {samples_per_size} cold graphs per size "
               f"(approximate p99 of the largest size gated at "
-              f"{p99_slo}s)")
-    report("approximate_properties_latency", table)
+              f"{p99_slo}s)",
+        gates=[("largest_size_p99_slo", largest_p99 <= p99_slo,
+                f"p99={largest_p99:.3f}s slo={p99_slo}s")])
     assert largest_p99 <= p99_slo, (
         f"approximate first-hit p99 {largest_p99:.3f}s over the "
         f"{p99_slo}s SLO at |E|={sizes[-1][1]}")
@@ -152,12 +154,17 @@ def run_agreement(num_graphs: int, wedge_budget: int,
     # Every approximate request must be visible on the service counters.
     assert service.stats.approximate_hits == num_graphs
     sampled = service.stats.budget_exhausted
-    report("approximate_properties_agreement",
-           f"selection agreement exact vs approximate: {agree}/{num_graphs} "
-           f"({agreement:.0%}) over {num_graphs} R-MAT graphs at wedge "
-           f"budget {wedge_budget}; {sampled} extractions sampled "
-           f"(budget exhausted), {num_graphs - sampled} fit the budget "
-           "exactly")
+    report_table(
+        "approximate_properties_agreement",
+        ("graphs", "agreeing selections", "agreement", "wedge budget",
+         "sampled (budget exhausted)", "fit the budget"),
+        [(num_graphs, agree, f"{agreement:.0%}", wedge_budget, sampled,
+          num_graphs - sampled)],
+        title="Selection agreement, exact vs approximate properties, over "
+              "R-MAT graphs whose wedge count overflows the budget",
+        gates=[("agreement_floor",
+                not check_agreement or agreement >= MIN_AGREEMENT,
+                f"agreement={agreement:.0%} floor={MIN_AGREEMENT:.0%}")])
     if check_agreement:
         assert sampled == num_graphs, (
             "agreement pool must overflow the budget so estimates (not the "

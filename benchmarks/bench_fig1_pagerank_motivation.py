@@ -8,7 +8,7 @@ PageRank, but the low-RF partitioners pay a much higher partitioning time.
 
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.generators import generate_realworld_graph
 from repro.partitioning import compute_quality_metrics, create_partitioner
 from repro.processing import PageRank, ProcessingEngine
@@ -47,11 +47,11 @@ def _run_experiment(graphs):
 def test_fig1_pagerank_motivation(benchmark, motivation_graphs):
     rows = benchmark.pedantic(_run_experiment, args=(motivation_graphs,),
                               rounds=1, iterations=1)
-    report("fig1_pagerank_motivation", format_table(
+    report_table("fig1_pagerank_motivation",
         ("graph", "partitioner", "replication factor",
          "partitioning time (s)", "PageRank time (s)"), rows,
         title="Figure 1: PageRank on Friendster/sk-2005 stand-ins "
-              f"(k={NUM_PARTITIONS}, {PAGERANK_ITERATIONS} iterations)"))
+              f"(k={NUM_PARTITIONS}, {PAGERANK_ITERATIONS} iterations)")
 
     # Paper shape checks: on both graphs NE has the lowest RF and the lowest
     # processing time but the highest partitioning time; CRVC the opposite.

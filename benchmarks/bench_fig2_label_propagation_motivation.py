@@ -8,7 +8,7 @@ determines the processing time — DBH beats NE despite NE's lower RF.
 
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.generators import generate_realworld_graph
 from repro.partitioning import compute_quality_metrics, create_partitioner
 from repro.processing import LabelPropagation, ProcessingEngine
@@ -39,11 +39,11 @@ def _run_experiment(graph):
 def test_fig2_label_propagation_motivation(benchmark, social_graph):
     rows = benchmark.pedantic(_run_experiment, args=(social_graph,),
                               rounds=1, iterations=1)
-    report("fig2_label_propagation_motivation", format_table(
+    report_table("fig2_label_propagation_motivation",
         ("partitioner", "LP time (s)", "vertex balance", "replication factor"),
         rows,
         title="Figure 2: Label Propagation on a Socfb-A-anon stand-in "
-              f"(k={NUM_PARTITIONS}, {ITERATIONS} iterations)"))
+              f"(k={NUM_PARTITIONS}, {ITERATIONS} iterations)")
 
     results = {row[0]: row for row in rows}
     # NE has the lowest replication factor ...

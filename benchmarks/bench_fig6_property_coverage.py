@@ -14,7 +14,7 @@ partition.
 import numpy as np
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.graph import compute_properties
 from repro.generators import (
     TABLE2_PARAMETER_COMBINATIONS,
@@ -58,10 +58,10 @@ def _coverage_rows(corpora):
 def test_fig6a_to_e_property_coverage(benchmark, corpora):
     rows = benchmark.pedantic(_coverage_rows, args=(corpora,), rounds=1,
                               iterations=1)
-    report("fig6a_e_property_coverage", format_table(
+    report_table("fig6a_e_property_coverage",
         ("property", "corpus", "min", "median", "max"), rows,
         title="Figure 6(a)-(e): graph-property coverage of R-MAT vs "
-              "Barabasi-Albert vs real-world-like graphs"))
+              "Barabasi-Albert vs real-world-like graphs")
 
     def span(property_name, corpus):
         values = [row for row in rows if row[0] == property_name
@@ -97,11 +97,11 @@ def _clustering_vs_rf_series():
 
 def test_fig6f_clustering_vs_replication_factor(benchmark):
     series = benchmark.pedantic(_clustering_vs_rf_series, rounds=1, iterations=1)
-    report("fig6f_clustering_vs_rf", format_table(
+    report_table("fig6f_clustering_vs_rf",
         ("|V|", "combination", "clustering coefficient", "HDRF replication factor"),
         series,
         title="Figure 6(f): clustering coefficient vs HDRF replication factor "
-              "(|E| fixed, varying |V| and Table II parameters)"))
+              "(|E| fixed, varying |V| and Table II parameters)")
 
     # In Figure 6(f) every line is one vertex count; within a line (i.e. at a
     # fixed density) higher clustering coefficients go along with lower

@@ -9,7 +9,7 @@ balance is unstable across runs).
 import numpy as np
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.partitioning import ALL_PARTITIONER_NAMES
 from repro.ease import per_type_mape_matrix
 
@@ -44,12 +44,12 @@ def test_fig7_prediction_error_heatmaps(benchmark, trained_ease,
 
     rf_headers, rf_rows = _matrix_rows(rf_matrix)
     vb_headers, vb_rows = _matrix_rows(vb_matrix)
-    report("fig7a_replication_factor_heatmap", format_table(
+    report_table("fig7a_replication_factor_heatmap",
         rf_headers, rf_rows,
-        title="Figure 7(a): replication-factor MAPE per (graph type, partitioner)"))
-    report("fig7c_vertex_balance_heatmap", format_table(
+        title="Figure 7(a): replication-factor MAPE per (graph type, partitioner)")
+    report_table("fig7c_vertex_balance_heatmap",
         vb_headers, vb_rows,
-        title="Figure 7(c): vertex-balance MAPE per (graph type, partitioner)"))
+        title="Figure 7(c): vertex-balance MAPE per (graph type, partitioner)")
 
     # Nothing should degenerate completely.
     assert all(np.isfinite(v) for v in rf_matrix.values())

@@ -8,7 +8,7 @@ number of enrichment graphs already helps, and more graphs help more.
 import numpy as np
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.ml import RandomForestRegressor
 from repro.ease import EnrichmentStudy, PartitioningQualityPredictor
 from repro.ease import per_type_mape_matrix
@@ -58,20 +58,20 @@ def test_fig8_enrichment_levels(benchmark, quality_training_records,
         rows.append((level.num_enrichment_graphs,
                      *(level.mape_per_type[t] for t in graph_types),
                      level.overall_mape))
-    report("fig8_enrichment_curve", format_table(
+    report_table("fig8_enrichment_curve",
         ("#enrichment graphs", *graph_types, "all"), rows,
         title="Figure 8: replication-factor MAPE per graph type vs number of "
-              "wiki enrichment graphs (mean over repetitions)"))
+              "wiki enrichment graphs (mean over repetitions)")
 
     partitioners = sorted({key[1] for key in enriched_matrix})
     heat_rows = []
     for graph_type in sorted({key[0] for key in enriched_matrix}):
         heat_rows.append((graph_type, *(enriched_matrix[(graph_type, p)]
                                         for p in partitioners)))
-    report("fig7b_replication_factor_heatmap_enriched", format_table(
+    report_table("fig7b_replication_factor_heatmap_enriched",
         ("type", *partitioners), heat_rows,
         title="Figure 7(b): replication-factor MAPE per (type, partitioner) "
-              "after enrichment with all wiki graphs"))
+              "after enrichment with all wiki graphs")
 
     # Paper shape: enrichment reduces the wiki error; it should not blow up
     # the error on the other types by more than a modest factor.

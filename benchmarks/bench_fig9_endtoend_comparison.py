@@ -9,7 +9,7 @@ smallest-RF strategy overpays for partitioning.
 
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.generators import generate_realworld_graph
 from repro.partitioning import (
     ALL_PARTITIONER_NAMES,
@@ -76,11 +76,11 @@ def test_fig9_end_to_end_per_partitioner(benchmark, wiki_graph, trained_ease,
     rows, sps_pick, srf_pick, results = benchmark.pedantic(
         _experiment, args=(wiki_graph, trained_ease, algorithm_name),
         rounds=1, iterations=1)
-    report(f"fig9_end_to_end_{algorithm_name}", format_table(
+    report_table(f"fig9_end_to_end_{algorithm_name}",
         ("partitioner", "partitioning (s)", "processing (s)",
          "end-to-end (s)", "RF", "picked by"), rows,
         title=f"Figure 9: end-to-end time per partitioner on a wiki-like graph "
-              f"({algorithm_name}); SPS = EASE pick, SSRF = smallest-RF pick"))
+              f"({algorithm_name}); SPS = EASE pick, SSRF = smallest-RF pick")
 
     ranked = [row[0] for row in rows]
     # EASE's pick must land in the better half of the field and never be the

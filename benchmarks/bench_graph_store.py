@@ -66,9 +66,8 @@ from _harness import (
     cached,
     children_pss_bytes,
     current_rss_bytes,
-    format_table,
     peak_rss_bytes,
-    report,
+    report_table,
 )
 from repro.generators import generate_rmat
 from repro.graph import Graph, GraphStore
@@ -261,7 +260,8 @@ def report_worker_rss(reports: dict, jobs: int) -> float:
                      r["pool_retained_pss"] / 2**20,
                      r["worker_peak_rss"] / 2**20,
                      r["wall_seconds"], r["records"]))
-    report("graph_store_worker_rss", format_table(
+    report_table(
+        "graph_store_worker_rss",
         ("corpus", "driver corpus residency (MiB)",
          "pool retained PSS (MiB)", "per-worker peak RSS (MiB)",
          "wall clock (s)", "records"), rows,
@@ -271,7 +271,7 @@ def report_worker_rss(reports: dict, jobs: int) -> float:
               f"driving process from interpreter start to pool fork — "
               f"O(1) store-backed, corpus-sized in RAM); worker columns "
               f"reported only, see module docstring (datasets asserted "
-              f"identical); reduction {reduction:.2f}x"))
+              f"identical); reduction {reduction:.2f}x")
     return reduction
 
 
@@ -318,12 +318,13 @@ def report_first_task(outcomes: dict, jobs: int) -> float:
     speedup = outcomes["arrays"][0] / outcomes["store"][0]
     rows = [(mode, first, total)
             for mode, (first, total, _) in outcomes.items()]
-    report("graph_store_first_task", format_table(
+    report_table(
+        "graph_store_first_task",
         ("corpus", "first task (s)", "full run (s)"), rows,
         title=f"Time to first completed task, cold process pool "
               f"(jobs={jobs}): store-backed pools ship O(1) path "
               f"references at start-up; array pools pickle the corpus "
-              f"into every worker first ({speedup:.2f}x)"))
+              f"into every worker first ({speedup:.2f}x)")
     return speedup
 
 
@@ -394,13 +395,14 @@ def report_serving_cold_start(outcomes: dict, vertices: int,
                / outcomes["graph_fingerprint"][0])
     rows = [(mode, seconds, response["selected"])
             for mode, (seconds, response) in outcomes.items()]
-    report("graph_store_serving_cold_start", format_table(
+    report_table(
+        "graph_store_serving_cold_start",
         ("request payload", "first response (s)", "selected"), rows,
         title=f"Serving cold start, |V|={vertices} |E|={edges}: "
               f"'graph_fingerprint' opens the stored graph O(1) "
               f"server-side instead of round-tripping the edge arrays "
               f"through JSON ({speedup:.2f}x); identical responses "
-              f"asserted"))
+              f"asserted")
     return speedup
 
 

@@ -42,7 +42,7 @@ if __package__ is None or __package__ == "":
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _harness import format_table, report
+from _harness import report_table
 import repro._compiled as _compiled
 from repro.generators import generate_rmat
 from repro.partitioning import create_partitioner
@@ -129,12 +129,6 @@ def run_grid(num_vertices: int, num_edges: int, partition_counts,
     compiled_geomeans = {
         name: math.prod(values) ** (1.0 / len(values))
         for name, values in compiled_speedups.items() if values}
-    table = format_table(
-        ("algorithm", "k", "loop edges/s", "kernel edges/s", "speedup",
-         "compiled edges/s (vs kernel)"),
-        rows,
-        title=f"Streaming-partitioner throughput: R-MAT |V|={num_vertices} "
-              f"|E|={num_edges}, identical assignments asserted per cell")
     summary = "\n".join(
         f"geomean speedup {name}: {geomeans[name]:.2f}x"
         for name in ALGORITHMS)
@@ -145,7 +139,18 @@ def run_grid(num_vertices: int, num_edges: int, partition_counts,
             for name in sorted(compiled_geomeans))
     else:
         summary += "\ncompiled tier: numba not importable, column skipped"
-    report("partitioner_throughput", table + "\n" + summary)
+    gates = [(f"geomean_speedup_{name}",
+              not check_speedup or geomeans[name] >= MIN_GEOMEAN_SPEEDUP,
+              f"{geomeans[name]:.2f}x floor={MIN_GEOMEAN_SPEEDUP}x")
+             for name in ASSERTED_ALGORITHMS]
+    report_table(
+        "partitioner_throughput",
+        ("algorithm", "k", "loop edges/s", "kernel edges/s", "speedup",
+         "compiled edges/s (vs kernel)"),
+        rows,
+        title=f"Streaming-partitioner throughput: R-MAT |V|={num_vertices} "
+              f"|E|={num_edges}, identical assignments asserted per cell",
+        gates=gates, notes=summary)
     if check_speedup:
         for name in ASSERTED_ALGORITHMS:
             assert geomeans[name] >= MIN_GEOMEAN_SPEEDUP, (

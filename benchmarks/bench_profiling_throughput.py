@@ -32,7 +32,7 @@ except ImportError:  # pragma: no cover - direct CLI invocation
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _harness import CACHE_DIRECTORY, format_table, report
+from _harness import CACHE_DIRECTORY, report_table
 from repro.generators import generate_rmat
 from repro.ease import GraphProfiler
 from repro.processing import ALL_ALGORITHM_NAMES
@@ -120,13 +120,13 @@ def report_backend_grid(results, corpus):
                      f"{stats.cache_hit_rate():.0%}",
                      len(dataset.quality) + len(dataset.partitioning_time)
                      + len(dataset.processing)))
-    report("profiling_throughput", format_table(
+    report_table("profiling_throughput",
         ("configuration", "backend", "wall clock (s)", "speedup",
          "partitions computed", "duplicates avoided", "cache hit rate",
          "records"), rows,
         title=f"Profiling throughput: {len(corpus)} R-MAT graphs x "
               f"{len(PARTITIONERS)} partitioners x k={PARTITION_COUNTS}, "
-              f"{len(ALGORITHMS)} workloads at k={PROCESSING_K}"))
+              f"{len(ALGORITHMS)} workloads at k={PROCESSING_K}")
 
 
 # --------------------------------------------------------------------------- #
@@ -162,13 +162,13 @@ def report_intra_unit(dominant, outcomes, jobs=PARALLEL_JOBS):
     rows = [(f"granularity={granularity} (jobs={jobs})", seconds,
              unit_seconds / seconds, stats.executed_tasks)
             for granularity, (_, seconds, stats) in outcomes.items()]
-    report("profiling_intra_unit", format_table(
+    report_table("profiling_intra_unit",
         ("configuration", "wall clock (s)", "speedup vs unit-granular",
          "tasks executed"), rows,
         title=f"Intra-unit fan-out: one dominant R-MAT graph "
               f"|V|={dominant.num_vertices} |E|={dominant.num_edges}, "
               f"hdrf at k=4, {len(ALL_ALGORITHM_NAMES)} workloads "
-              f"(a single work unit)"))
+              f"(a single work unit)")
     return unit_seconds / outcomes["task"][1]
 
 

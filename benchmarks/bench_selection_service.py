@@ -57,7 +57,7 @@ if __package__ is None or __package__ == "":
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _harness import cached, format_table, report
+from _harness import cached, report_table
 from repro.generators import generate_rmat
 from repro.ease import EASE, GraphProfiler
 from repro.graph import compute_properties
@@ -194,7 +194,10 @@ def run_benchmark(concurrency_sweep, requests_per_level: int,
         rows.append((f"c={concurrency}", concurrency, len(jobs), single_rps,
                      batch_rps, f"{speedup:.2f}x", mean_batch))
 
-    table = format_table(
+    best = max((speedup_at[c] for c in speedup_at
+                if c >= ASSERTED_CONCURRENCY), default=None)
+    report_table(
+        "selection_service_throughput",
         ("mode", "clients", "requests", "single req/s", "batched req/s",
          "speedup", "mean batch"),
         rows,
@@ -203,12 +206,15 @@ def run_benchmark(concurrency_sweep, requests_per_level: int,
               "best of "
               f"{repeats}; single-request = same service with batching "
               "disabled (max_batch_size=1); identical selections asserted "
-              "per request")
-    report("selection_service_throughput", table)
+              "per request",
+        gates=[("batched_speedup_floor",
+                not check_speedup
+                or (best is not None and best >= MIN_BATCHED_SPEEDUP),
+                f"best={best if best is None else f'{best:.2f}x'} "
+                f"floor={MIN_BATCHED_SPEEDUP}x at concurrency >= "
+                f"{ASSERTED_CONCURRENCY}")])
 
     if check_speedup:
-        best = max(speedup_at[c] for c in speedup_at
-                   if c >= ASSERTED_CONCURRENCY)
         assert best >= MIN_BATCHED_SPEEDUP, (
             f"micro-batched speedup {best:.2f}x at concurrency >= "
             f"{ASSERTED_CONCURRENCY} below {MIN_BATCHED_SPEEDUP}x")
@@ -325,6 +331,25 @@ def _healthz(url: str) -> dict:
         return json.loads(response.read())
 
 
+def _scrape_metrics(url: str) -> str:
+    with urllib.request.urlopen(f"{url}/metrics", timeout=30) as response:
+        content_type = response.headers.get("Content-Type", "")
+        assert content_type.startswith("text/plain"), content_type
+        return response.read().decode("utf-8")
+
+
+def _metric_sum(exposition: str, name: str) -> float:
+    """Sum of every sample of ``name`` across label sets (pool-merged)."""
+    import re
+
+    pattern = re.compile(rf"^{re.escape(name)}(?:\{{[^}}]*\}})? (\S+)$")
+    values = [float(match.group(1))
+              for line in exposition.splitlines()
+              if (match := pattern.match(line))]
+    assert values, f"metric {name} absent from the /metrics exposition"
+    return sum(values)
+
+
 def run_load_benchmark(processes: int, requests_per_process: int,
                        p50_slo: float, p99_slo: float):
     """Capacity + overload phases against the prefork serving stack."""
@@ -343,6 +368,9 @@ def run_load_benchmark(processes: int, requests_per_process: int,
         try:
             samples = _run_load(url, processes, requests_per_process,
                                 unique_jobs=False)
+            # Scrape while the pool is still up: whichever worker answers
+            # must merge its siblings' metric slots into one exposition.
+            exposition = _scrape_metrics(url)
         finally:
             _stop_subprocess(process)
         statuses = [status for status, _, _ in samples]
@@ -356,6 +384,24 @@ def run_load_benchmark(processes: int, requests_per_process: int,
             f"{sorted(set(statuses))}")
         assert p50 <= p50_slo, f"p50 {p50:.3f}s over SLO {p50_slo}s"
         assert p99 <= p99_slo, f"p99 {p99:.3f}s over SLO {p99_slo}s"
+        # The serving-phase histograms must be populated and aggregated
+        # over the whole pool: one worker's scrape accounts for every
+        # generator request, not just its own share.
+        import re as _re
+
+        total = processes * requests_per_process
+        pids = set(_re.findall(r'pid="(\d+)"', exposition))
+        assert len(pids) >= 2, (
+            f"merged exposition covers {len(pids)} worker pid(s); "
+            "expected the whole 2-worker pool")
+        assert _metric_sum(exposition, "serving_requests_total") >= total
+        assert _metric_sum(exposition,
+                           "serving_request_seconds_count") >= total
+        assert _metric_sum(exposition,
+                           "serving_admission_wait_seconds_count") >= total
+        assert _metric_sum(exposition,
+                           "serving_batch_queue_wait_seconds_count") >= 1
+        assert _metric_sum(exposition, "serving_inference_seconds_count") >= 1
 
         # ---- overload: 1 starved worker, 1-slot admission gate -------- #
         process, url = _serve_subprocess(
@@ -388,16 +434,23 @@ def run_load_benchmark(processes: int, requests_per_process: int,
     finally:
         os.remove(bundle)
 
-    table = format_table(
+    report_table(
+        "selection_service_load",
         ("phase", "requests", "200s", "429s", "p50 (s)", "p99 (s)"),
         rows,
         title=f"Serving-stack load generation: {processes} generator "
               f"processes x {requests_per_process} requests; capacity = 2 "
               f"prefork workers (SLO p50 <= {p50_slo}s, p99 <= {p99_slo}s, "
-              "zero sheds allowed); overload = 1 worker with a 1-slot "
+              "zero sheds allowed; /metrics scraped under load and asserted "
+              "pool-aggregated); overload = 1 worker with a 1-slot "
               "admission gate (sheds required, Retry-After asserted on "
-              "every 429)")
-    report("selection_service_load", table)
+              "every 429)",
+        gates=[("capacity_p50_slo", rows[0][4] <= p50_slo,
+                f"p50={rows[0][4]:.3f}s slo={p50_slo}s"),
+               ("capacity_p99_slo", rows[0][5] <= p99_slo,
+                f"p99={rows[0][5]:.3f}s slo={p99_slo}s"),
+               ("overload_sheds_observed", rows[1][3] > 0,
+                f"429s={rows[1][3]}")])
 
 
 if pytest is not None:
@@ -423,7 +476,8 @@ def main(argv=None) -> int:
                            QUICK_LOAD_REQUESTS_PER_PROCESS,
                            QUICK_P50_SLO_SECONDS, QUICK_P99_SLO_SECONDS)
         print("quick smoke passed: micro-batched selections identical to "
-              "sequential; load-generator SLOs and 429 shedding asserted")
+              "sequential; load-generator SLOs, pool-aggregated /metrics "
+              "and 429 shedding asserted")
     else:
         run_benchmark(CONCURRENCY_SWEEP, REQUESTS_PER_LEVEL)
         run_load_benchmark(LOAD_PROCESSES, LOAD_REQUESTS_PER_PROCESS,

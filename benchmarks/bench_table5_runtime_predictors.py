@@ -7,7 +7,7 @@ the same graphs (the paper reports 0.335 with XGBoost).
 
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 
 
 def _evaluate(trained_ease, large_test_records):
@@ -28,10 +28,10 @@ def test_table5_processing_time_predictor(benchmark, trained_ease,
             for algorithm, scores in sorted(processing_scores.items())]
     rows.append(("(partitioning time)", partitioning_scores["mape"],
                  partitioning_scores["rmse"]))
-    report("table5_runtime_predictors", format_table(
+    report_table("table5_runtime_predictors",
         ("algorithm", "MAPE", "RMSE"), rows,
         title="Table V: ProcessingTimePredictor MAPE per algorithm on the "
-              "Table-IV-like test graphs (last row: PartitioningTimePredictor)"))
+              "Table-IV-like test graphs (last row: PartitioningTimePredictor)")
 
     # Paper ballpark: processing-time MAPE between ~0.25 and ~0.4 per
     # algorithm; at laptop scale we only require the same order of magnitude.

@@ -10,7 +10,7 @@ replication factor.
 import numpy as np
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.ease import PartitioningQualityPredictor
 
 
@@ -46,10 +46,10 @@ def test_table6_quality_predictor(benchmark, quality_training_records,
         _evaluate_feature_sets,
         args=(quality_training_records, test_quality_records),
         rounds=1, iterations=1)
-    report("table6_quality_predictor", format_table(
+    report_table("table6_quality_predictor",
         ("target", "model", "features", "MAPE", "RMSE"), rows,
         title="Table VI: PartitioningQualityPredictor on the real-world-like "
-              "test set (trained on synthetic R-MAT only)"))
+              "test set (trained on synthetic R-MAT only)")
 
     scores = {(row[0], row[2]): row[3] for row in rows}
     balance_mapes = [scores[("vertex_balance", "basic")],

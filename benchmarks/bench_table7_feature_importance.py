@@ -10,7 +10,7 @@ matters for the replication factor, and the density matters for nothing.
 
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.ml import RandomForestRegressor
 from repro.partitioning import QUALITY_METRIC_NAMES
 from repro.ease import PartitioningQualityPredictor
@@ -39,9 +39,9 @@ def test_table7_feature_importance(benchmark, quality_training_records):
     for group in feature_groups:
         rows.append((group, *(importances[metric].get(group, 0.0)
                               for metric in QUALITY_METRIC_NAMES)))
-    report("table7_feature_importance", format_table(
+    report_table("table7_feature_importance",
         ("feature", *QUALITY_METRIC_NAMES), rows,
-        title="Table VII: aggregated RFR feature importance per quality metric"))
+        title="Table VII: aggregated RFR feature importance per quality metric")
 
     for metric in QUALITY_METRIC_NAMES:
         groups = importances[metric]

@@ -12,7 +12,7 @@ enrichment of the quality-predictor training data.
 import numpy as np
 import pytest
 
-from _harness import format_table, report
+from _harness import report_table
 from repro.ease import (
     EASE,
     OptimizationGoal,
@@ -47,11 +47,11 @@ def test_table8a_selection_strategies(benchmark, trained_ease,
     rows, optimal_fraction, comparisons = benchmark.pedantic(
         _strategy_table, args=(trained_ease, large_test_records), rounds=1,
         iterations=1)
-    report("table8a_selection_strategies", format_table(
+    report_table("table8a_selection_strategies",
         ("goal", "algorithm", "SPS % of SO", "SPS % of SSRF", "SPS % of SR",
          "SPS % of SW", "SSRF % of SO", "SPS optimal picks %"), rows,
         title="Table VIII(a): EASE selection (SPS) relative to baselines "
-              "(lower is better; 100 = equal)"))
+              "(lower is better; 100 = equal)")
 
     # Headline claims at laptop scale: averaged over algorithms, EASE beats
     # random and worst selection for the end-to-end goal and never loses to
@@ -126,10 +126,10 @@ def test_table8b_selection_with_enrichment(benchmark, trained_ease,
         args=(trained_ease, quality_training_records, wiki_enrichment_records,
               large_test_records),
         rounds=1, iterations=1)
-    report("table8b_selection_with_enrichment", format_table(
+    report_table("table8b_selection_with_enrichment",
         ("evaluation set / training", "goal", "SPS % of SO", "SPS % of SR",
          "SPS % of SW"), rows,
         title="Table VIII(b): selection performance with and without "
-              "wiki enrichment"))
+              "wiki enrichment")
     # Sanity: the selection must always be at least as good as the worst pick.
     assert all(row[4] <= 100.0 + 1e-9 for row in rows)

@@ -56,6 +56,16 @@ Two expose the serving subsystem (``docs/SERVING.md``):
     Run the HTTP selection server on a registry model or a bundle file;
     concurrent requests are micro-batched into single predictor calls.
 
+Two expose the observability layer (``docs/OBSERVABILITY.md``):
+
+``metrics``
+    Print a Prometheus-text exposition — scraped from a running server's
+    ``GET /metrics``, or rendered offline from the slot files of a
+    ``--scrape-dir`` (works after the pool exited).
+``trace show``
+    Pretty-print the distributed span trees that a ``profile --trace-dir``
+    or ``serve --trace-dir`` run exported as per-pid JSONL files.
+
 Example session::
 
     python -m repro.cli generate --output graphs/ --max-graphs 40
@@ -152,7 +162,42 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_profile_stats(path: str, stats) -> None:
+    """Dump ProfileRunStats plus per-task-kind latency percentiles as JSON.
+
+    The percentiles come from the process-wide ``runtime_task_seconds``
+    histogram the scheduler feeds, so the file reflects exactly the run
+    that just finished (the registry is fresh per CLI invocation).
+    """
+    import json
+
+    from .obs import get_registry
+
+    payload: dict = {"run": stats.as_dict() if stats is not None else None}
+    kinds = {}
+    family = get_registry().get("runtime_task_seconds")
+    if family is not None:
+        for label_values, histogram in family.children():
+            count = histogram.count
+            kinds[label_values[0]] = {
+                "count": count,
+                "total_seconds": histogram.sum,
+                "mean_seconds": histogram.sum / count if count else 0.0,
+                "p50_seconds": histogram.quantile(0.5),
+                "p90_seconds": histogram.quantile(0.9),
+                "p99_seconds": histogram.quantile(0.99),
+            }
+    payload["task_seconds_by_kind"] = kinds
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def _command_profile(args: argparse.Namespace) -> int:
+    if args.trace_dir:
+        from .obs import configure_tracing
+
+        configure_tracing(args.trace_dir)
     graphs = _gather_graphs(args)
     existing = None
     if args.extend:
@@ -202,18 +247,32 @@ def _command_profile(args: argparse.Namespace) -> int:
               f"{stats.cache_hit_tasks} from cache, "
               f"{stats.checkpoint_tasks} from checkpoint "
               f"of {stats.total_tasks} total")
+    if args.stats_json:
+        _write_profile_stats(args.stats_json, stats)
+        print(f"run stats written to {args.stats_json}")
+    if args.trace_dir:
+        print(f"trace written to {args.trace_dir} "
+              f"(inspect with 'repro trace show --trace-dir "
+              f"{args.trace_dir}')")
     print(f"dataset written to {args.output}")
     return 0
 
 
 def _command_worker(args: argparse.Namespace) -> int:
+    from .obs import configure_logging, get_logger
     from .runtime import run_worker
 
+    configure_logging(level=args.log_level, format=args.log_format)
+    logger = get_logger("repro.worker")
+    logger.debug("worker serving queue", queue_dir=args.queue_dir,
+                 poll_interval=args.poll_interval)
     processed = run_worker(args.queue_dir,
                            poll_interval=args.poll_interval,
                            max_tasks=args.max_tasks,
                            stop_when_idle=args.drain)
-    print(f"worker exiting after {processed} tasks")
+    # The event text is load-bearing: callers (and tests) match the
+    # "worker exiting after N tasks" line on stdout.
+    logger.info(f"worker exiting after {processed} tasks")
     return 0
 
 
@@ -409,8 +468,13 @@ def _build_router(args: argparse.Namespace):
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from .obs import configure_logging, configure_tracing, get_logger
     from .serving import PreforkFrontend, SelectionHTTPServer
 
+    configure_logging(level=args.log_level, format=args.log_format)
+    logger = get_logger("repro.serve")
+    if args.trace_dir:
+        configure_tracing(args.trace_dir)
     if args.graph_store and not os.path.isdir(args.graph_store):
         raise SystemExit(f"graph store {args.graph_store!r} does not exist")
     if args.workers < 1:
@@ -424,36 +488,115 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.workers > 1:
         front = PreforkFrontend(router, registry=registry, host=args.host,
                                 port=args.port, workers=args.workers,
-                                verbose=args.verbose)
+                                verbose=args.verbose,
+                                scrape_dir=args.scrape_dir)
         url, closer = front.url, front.shutdown
     else:
         front = SelectionHTTPServer(router, registry=registry,
                                     host=args.host, port=args.port,
-                                    verbose=args.verbose)
+                                    verbose=args.verbose,
+                                    scrape_dir=args.scrape_dir)
         url, closer = front.url, front.server_close
     info = router.default_service.model_info
     # The url reports the actually bound port (--port 0 picks a free one);
-    # flush so a load generator reading our pipe sees it before traffic.
-    print(f"serving model {info.get('name')!r} version {info.get('version')} "
-          f"on {url}", flush=True)
+    # the logger flushes every line, so a load generator reading our pipe
+    # sees it before traffic.  The " on <url>" tail is load-bearing:
+    # subprocess drivers parse the URL off this line.
+    logger.info(f"serving model {info.get('name')!r} "
+                f"version {info.get('version')} on {url}")
     if len(router.services) > 1:
-        print(f"models: {', '.join(router.tags())} "
-              f"(default: {router.default_tag}; route with the 'model' "
-              f"field or X-Repro-Model header)", flush=True)
+        logger.info(f"models: {', '.join(router.tags())} "
+                    f"(default: {router.default_tag}; route with the "
+                    f"'model' field or X-Repro-Model header)")
     if args.workers > 1:
-        print(f"workers: {args.workers} processes on one shared listener",
-              flush=True)
+        logger.info(f"workers: {args.workers} processes on one shared "
+                    f"listener")
     if args.graph_store:
-        print(f"graph store: {args.graph_store} (requests may send "
-              f"'graph_fingerprint' instead of edge arrays)", flush=True)
-    print("endpoints: POST /v1/select  POST /v1/predict  GET /v1/models  "
-          "GET /healthz", flush=True)
+        logger.info(f"graph store: {args.graph_store} (requests may send "
+                    f"'graph_fingerprint' instead of edge arrays)")
+    if args.trace_dir:
+        logger.info(f"tracing to {args.trace_dir}")
+    logger.info("endpoints: POST /v1/select  POST /v1/predict  "
+                "GET /v1/models  GET /healthz  GET /metrics")
     try:
         front.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         closer()
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    if (args.url is None) == (args.scrape_dir is None):
+        raise SystemExit("exactly one of --url and --scrape-dir is required")
+    if args.url:
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/metrics"
+        try:
+            with urlopen(url, timeout=args.timeout) as response:
+                sys.stdout.write(response.read().decode("utf-8"))
+        except (URLError, OSError) as error:
+            raise SystemExit(f"scrape of {url} failed: {error}")
+        return 0
+    from .obs import ScrapeDir, render_prometheus
+
+    if not os.path.isdir(args.scrape_dir):
+        raise SystemExit(
+            f"scrape directory {args.scrape_dir!r} does not exist")
+    # include_dead keeps the slots of an already-exited pool: the offline
+    # path exists precisely to inspect what a finished run left behind.
+    merged, pids = ScrapeDir(args.scrape_dir).merged_snapshot(
+        include_dead=True)
+    if not pids:
+        raise SystemExit(f"no metric slots found in {args.scrape_dir!r}")
+    sys.stdout.write(render_prometheus(merged))
+    return 0
+
+
+def _format_span_line(node: dict, depth: int) -> str:
+    duration = node.get("duration")
+    timing = (f"{duration * 1000.0:10.2f}ms" if duration is not None
+              else f"{'open':>12s}")
+    attrs = " ".join(f"{key}={value}" for key, value
+                     in sorted(node.get("attrs", {}).items()))
+    return (f"{timing}  {'  ' * depth}{node['name']}"
+            f"{'  ' + attrs if attrs else ''}  [pid {node['pid']}]")
+
+
+def _command_trace_show(args: argparse.Namespace) -> int:
+    from .obs.trace import read_trace, span_tree
+
+    records = read_trace(args.trace_dir, trace_id=args.trace_id)
+    if not records:
+        print(f"no spans recorded in {args.trace_dir}")
+        return 0
+
+    def render(node: dict, depth: int) -> None:
+        print(_format_span_line(node, depth))
+        for event in node.get("events", ()):
+            attrs = " ".join(f"{key}={value}" for key, value
+                             in sorted(event.get("attrs", {}).items()))
+            print(f"{'':12s}  {'  ' * (depth + 1)}@ {event['name']}"
+                  f"{'  ' + attrs if attrs else ''}")
+        children = sorted(node.get("children", ()),
+                          key=lambda child: child.get("start", 0.0))
+        for child in children:
+            render(child, depth + 1)
+
+    roots = span_tree(records)
+    by_trace: dict = {}
+    for root in roots:
+        by_trace.setdefault(root["trace_id"], []).append(root)
+    for trace_id, trace_roots in sorted(by_trace.items()):
+        spans = sum(1 for record in records
+                    if record.get("type") == "span"
+                    and record.get("trace_id") == trace_id)
+        print(f"trace {trace_id}  ({spans} spans)")
+        for root in trace_roots:
+            render(root, 1)
     return 0
 
 
@@ -578,6 +721,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "(shared combinations ride the warm artifact "
                               "cache) and write the merged, canonically "
                               "sorted dataset to --output")
+    profile.add_argument("--stats-json", default=None, metavar="PATH",
+                         help="also write run statistics (work units, cache "
+                              "hits, per-task-kind latency percentiles) as "
+                              "JSON to this path")
+    profile.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="record one distributed trace of the run: "
+                              "driver and worker spans export to per-pid "
+                              "JSONL files here (view with 'repro trace "
+                              "show')")
     profile.set_defaults(handler=_command_profile)
 
     worker = subparsers.add_parser(
@@ -593,6 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--drain", action="store_true",
                         help="exit as soon as the queue is empty instead of "
                              "waiting for the stop sentinel")
+    _add_logging_arguments(worker)
     worker.set_defaults(handler=_command_worker)
 
     cache = subparsers.add_parser(
@@ -751,7 +904,41 @@ def build_parser() -> argparse.ArgumentParser:
                             "cold-start: only meta.json is read up front)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+    serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="export request/batch spans as per-pid JSONL "
+                            "trace files to this directory")
+    serve.add_argument("--scrape-dir", default=None, metavar="DIR",
+                       help="directory of the per-worker metric slot files "
+                            "behind GET /metrics (default: a run-scoped "
+                            "temporary directory; set it to keep slots "
+                            "inspectable after shutdown via 'repro "
+                            "metrics --scrape-dir')")
+    _add_logging_arguments(serve)
     serve.set_defaults(handler=_command_serve)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="print a Prometheus-text metrics exposition")
+    metrics.add_argument("--url", default=None,
+                         help="base URL of a running server; scrapes "
+                              "<url>/metrics")
+    metrics.add_argument("--scrape-dir", default=None, metavar="DIR",
+                         help="render a local scrape directory instead of "
+                              "an HTTP scrape (works after the pool exited)")
+    metrics.add_argument("--timeout", type=float, default=10.0,
+                         help="HTTP timeout of --url scrapes in seconds")
+    metrics.set_defaults(handler=_command_metrics)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect distributed traces")
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_commands.add_parser(
+        "show", help="print the span trees of a trace directory")
+    trace_show.add_argument("--trace-dir", required=True,
+                            help="directory of spans-<pid>.jsonl files "
+                                 "(--trace-dir of profile/serve)")
+    trace_show.add_argument("--trace-id", default=None,
+                            help="restrict to one trace id")
+    trace_show.set_defaults(handler=_command_trace_show)
 
     models = subparsers.add_parser(
         "models", help="manage the versioned model registry")
@@ -786,6 +973,18 @@ def build_parser() -> argparse.ArgumentParser:
     promote.add_argument("--tag", default="production")
     promote.set_defaults(handler=_command_models_promote)
     return parser
+
+
+def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    """--log-level / --log-format of the structured logger."""
+    parser.add_argument("--log-level", default="info",
+                        choices=["debug", "info", "warning", "error"],
+                        help="minimum level of status lines (default: info)")
+    parser.add_argument("--log-format", default="human",
+                        choices=["human", "json"],
+                        help="'human' keeps event text verbatim at the end "
+                             "of each line; 'json' emits one object per "
+                             "line (default: human)")
 
 
 def _add_model_source_arguments(parser: argparse.ArgumentParser,

@@ -22,11 +22,13 @@ invocation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import get_registry
 from .graph import Graph, graph_fingerprint
 from .property_engine import (
     local_clustering_from_triangles,
@@ -245,6 +247,14 @@ def properties_artifact_key(fingerprint: str, exact_triangles: bool,
             wedge_budget)
 
 
+def _observe_extraction(mode: str, elapsed: float) -> None:
+    """Record one cache-missing property extraction in the registry."""
+    get_registry().histogram(
+        "property_extraction_seconds",
+        "Wall time of one graph's property extraction (cache misses only)",
+        ("mode",)).labels(mode).observe(elapsed)
+
+
 def compute_properties(graph: Graph, exact_triangles: bool = True,
                        sample_size: int = DEFAULT_SAMPLE_SIZE,
                        seed: int = 0, use_engine: bool = True,
@@ -310,10 +320,12 @@ def compute_properties(graph: Graph, exact_triangles: bool = True,
             cached = store.get(key)
             if cached is not None:
                 return cached
+        started = time.perf_counter()
         properties, _ = approximate_properties(graph,
                                                wedge_budget=wedge_budget,
                                                seed=seed,
                                                use_compiled=use_compiled)
+        _observe_extraction("approximate", time.perf_counter() - started)
         if key is not None:
             store.put(key, properties)
         return properties
@@ -332,6 +344,7 @@ def compute_properties(graph: Graph, exact_triangles: bool = True,
             store.put(key, properties)
         return properties
 
+    started = time.perf_counter()
     in_deg = graph.in_degrees()
     out_deg = graph.out_degrees()
     if exact_triangles or graph.num_vertices <= sample_size:
@@ -362,6 +375,7 @@ def compute_properties(graph: Graph, exact_triangles: bool = True,
         mean_triangles=mean_tri,
         mean_local_clustering=mean_lcc,
     )
+    _observe_extraction("exact", time.perf_counter() - started)
     if key is not None:
         store.put(key, properties)
     return properties

@@ -1,0 +1,116 @@
+"""Structured, level-gated logging in JSON or human line format.
+
+Deliberately not built on :mod:`logging`: the stdlib logger's global
+handler tree, fork interactions, and formatter indirection are more
+machinery than the CLIs need, and its ``%``-style message formatting
+fights structured fields.  Here a log call is
+``logger.info("event text", key=value, ...)`` and the record is either
+
+* ``human`` (default): ``HH:MM:SS LEVEL  name  event text key=value ...``
+  — the event text appears verbatim, so existing stdout contracts
+  (load generators watching for ``" on http://"``, tests watching for
+  ``"worker exiting after N tasks"``) keep parsing; or
+* ``json``: one ``{"time", "level", "logger", "event", ...fields}``
+  object per line for machine consumers.
+
+:func:`configure_logging` sets the process-wide level/format/stream;
+loggers obtained before configuration pick the new settings up — they
+read the shared config at call time.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["LEVELS", "StructuredLogger", "configure_logging", "get_logger"]
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _Config:
+    def __init__(self) -> None:
+        self.level = LEVELS["info"]
+        self.format = "human"
+        self.stream: Optional[TextIO] = None  # None -> sys.stdout at call time
+        self.lock = threading.Lock()
+
+
+_config = _Config()
+
+
+def configure_logging(level: str = "info", format: str = "human",
+                      stream: Optional[TextIO] = None) -> None:
+    """Set process-wide log level (``debug|info|warning|error``), record
+    format (``human|json``), and output stream (default: stdout)."""
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"expected one of {sorted(LEVELS)}")
+    if format not in ("human", "json"):
+        raise ValueError(f"unknown log format {format!r}; "
+                         "expected 'human' or 'json'")
+    _config.level = LEVELS[level]
+    _config.format = format
+    _config.stream = stream
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, str) and (" " in value or not value):
+        return json.dumps(value)
+    return str(value)
+
+
+class StructuredLogger:
+    """Named logger emitting structured records through the shared config."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        if LEVELS[level] < _config.level:
+            return
+        now = time.time()
+        if _config.format == "json":
+            record = {"time": now, "level": level, "logger": self.name,
+                      "event": event}
+            record.update(fields)
+            line = json.dumps(record, default=str)
+        else:
+            clock = time.strftime("%H:%M:%S", time.localtime(now))
+            parts = [f"{clock} {level.upper():<7} {self.name}  {event}"]
+            parts.extend(f"{key}={_format_value(value)}"
+                         for key, value in fields.items())
+            line = " ".join(parts)
+        stream = _config.stream or sys.stdout
+        with _config.lock:
+            stream.write(line + "\n")
+            stream.flush()
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit("error", event, fields)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = StructuredLogger(name)
+        return logger

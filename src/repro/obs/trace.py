@@ -1,0 +1,346 @@
+"""Span-based tracing with cross-process context propagation.
+
+A *trace* is a tree of spans identified by ``trace_id``; each span has its
+own ``span_id`` and the ``parent_id`` of the span it runs under.  The
+current span travels implicitly via :mod:`contextvars`, so nested
+``with span(...)`` blocks parent correctly across threads of one process.
+
+Crossing a process boundary (a task envelope dispatched to a pool or queue
+worker) is explicit: the driver attaches :func:`envelope_context` — a small
+dict of ``trace_id``, ``span_id`` and the trace directory — to the
+envelope, and the worker opens its spans under that context with
+:func:`task_span`.  Because the context carries the trace directory, a
+worker that has never been configured starts exporting into the same
+directory automatically, and ``repro trace show`` stitches the per-pid
+JSONL files back into one tree.
+
+Export format: one JSON object per line in ``<trace_dir>/spans-<pid>.jsonl``::
+
+    {"type": "span", "trace_id": ..., "span_id": ..., "parent_id": ...,
+     "name": ..., "start": ..., "end": ..., "duration": ..., "pid": ...,
+     "attrs": {...}}
+    {"type": "event", "trace_id": ..., "span_id": <enclosing span>,
+     "name": ..., "time": ..., "pid": ..., "attrs": {...}}
+
+Tracing is off (zero overhead beyond a ``None`` check) until
+:func:`configure_tracing` is called.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "SpanHandle",
+    "add_event",
+    "begin_span",
+    "configure_tracing",
+    "current_context",
+    "disable_tracing",
+    "envelope_context",
+    "read_trace",
+    "span",
+    "span_tree",
+    "task_span",
+    "tracing_enabled",
+]
+
+
+def _new_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+class _Exporter:
+    """Appends JSONL records to the per-pid span file of a trace dir.
+
+    The file handle is (re)opened lazily and keyed by pid, so a process
+    that forks after configuration — the prefork front, pool workers —
+    writes to its own file instead of interleaving with the parent's.
+    """
+
+    def __init__(self, trace_dir: str) -> None:
+        self.trace_dir = trace_dir
+        self._lock = threading.Lock()
+        self._pid: Optional[int] = None
+        self._handle = None
+
+    def path(self) -> str:
+        return os.path.join(self.trace_dir, f"spans-{os.getpid()}.jsonl")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            pid = os.getpid()
+            if self._handle is None or self._pid != pid:
+                os.makedirs(self.trace_dir, exist_ok=True)
+                self._handle = open(self.path(), "a", encoding="utf-8")
+                self._pid = pid
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+
+
+_exporter: Optional[_Exporter] = None
+_current: "contextvars.ContextVar[Optional[Dict[str, str]]]" = \
+    contextvars.ContextVar("repro_obs_span", default=None)
+
+
+def configure_tracing(trace_dir: str) -> str:
+    """Enable tracing; spans export to ``<trace_dir>/spans-<pid>.jsonl``.
+
+    Idempotent for the same directory; reconfiguring to a different
+    directory swaps the exporter (the previous file stays on disk).
+    Returns the directory.
+    """
+    global _exporter
+    if _exporter is None or _exporter.trace_dir != trace_dir:
+        _exporter = _Exporter(trace_dir)
+    return trace_dir
+
+
+def disable_tracing() -> None:
+    """Turn tracing off (spans become no-ops again); mainly for tests."""
+    global _exporter
+    _exporter = None
+
+
+def tracing_enabled() -> bool:
+    return _exporter is not None
+
+
+def trace_dir() -> Optional[str]:
+    return _exporter.trace_dir if _exporter is not None else None
+
+
+def current_context() -> Optional[Dict[str, str]]:
+    """The enclosing span's ``{"trace_id", "span_id"}`` (or ``None``)."""
+    return _current.get()
+
+
+def envelope_context() -> Optional[Dict[str, str]]:
+    """Cross-process context to attach to a task envelope.
+
+    ``None`` when tracing is off or no span is open — an envelope built
+    outside any trace costs nothing.  The returned dict additionally
+    carries ``trace_dir`` so an unconfigured worker process knows where to
+    export.
+    """
+    if _exporter is None:
+        return None
+    context = _current.get()
+    if context is None:
+        return None
+    return {"trace_id": context["trace_id"],
+            "span_id": context["span_id"],
+            "trace_dir": _exporter.trace_dir}
+
+
+@contextmanager
+def span(name: str, attrs: Optional[Dict[str, Any]] = None,
+         context: Optional[Dict[str, str]] = None
+         ) -> Iterator[Optional[Dict[str, str]]]:
+    """Open one span under the current (or an explicit remote) context.
+
+    Yields the new span's context dict, or ``None`` when tracing is off —
+    the body runs either way.  The span record is written when the block
+    exits; an escaping exception is recorded in ``attrs["error"]`` and
+    re-raised.
+    """
+    exporter = _exporter
+    if exporter is None:
+        yield None
+        return
+    parent = context if context is not None else _current.get()
+    mine = {"trace_id": parent["trace_id"] if parent else _new_id(16),
+            "span_id": _new_id(8)}
+    record: Dict[str, Any] = {
+        "type": "span",
+        "trace_id": mine["trace_id"],
+        "span_id": mine["span_id"],
+        "parent_id": parent["span_id"] if parent else None,
+        "name": name,
+        "pid": os.getpid(),
+        "start": time.time(),
+        "attrs": dict(attrs or {}),
+    }
+    token = _current.set(mine)
+    start = time.perf_counter()
+    try:
+        yield mine
+    except BaseException as error:
+        record["attrs"]["error"] = f"{type(error).__name__}: {error}"
+        raise
+    finally:
+        _current.reset(token)
+        record["end"] = time.time()
+        record["duration"] = time.perf_counter() - start
+        exporter.write(record)
+
+
+@contextmanager
+def task_span(trace_context: Optional[Dict[str, str]], name: str,
+              attrs: Optional[Dict[str, Any]] = None
+              ) -> Iterator[Optional[Dict[str, str]]]:
+    """Worker-side span under an envelope-borne context.
+
+    ``trace_context`` is the dict a driver attached via
+    :func:`envelope_context` (``None`` → no-op).  If it names a trace
+    directory and this process is unconfigured, tracing is configured on
+    the fly — a queue worker starts exporting the moment the first traced
+    envelope arrives.
+    """
+    if trace_context is None:
+        yield None
+        return
+    directory = trace_context.get("trace_dir")
+    if directory and (_exporter is None
+                      or _exporter.trace_dir != directory):
+        configure_tracing(directory)
+    parent = {"trace_id": trace_context["trace_id"],
+              "span_id": trace_context["span_id"]}
+    with span(name, attrs=attrs, context=parent) as mine:
+        yield mine
+
+
+class SpanHandle:
+    """A span whose start and finish are separate calls (no ``with`` block).
+
+    The scheduler dispatches a task, keeps serving other completions, and
+    finishes the dispatch span only when that task's result comes back —
+    a lifetime no context manager can scope.  The handle does *not* become
+    the ``contextvars``-current span; it exists to be the parent of the
+    worker-side execute span, via :meth:`envelope_context`.
+    """
+
+    def __init__(self, exporter: _Exporter, record: Dict[str, Any],
+                 started: float) -> None:
+        self._exporter = exporter
+        self._record = record
+        self._started = started
+        self._finished = False
+
+    @property
+    def context(self) -> Dict[str, str]:
+        return {"trace_id": self._record["trace_id"],
+                "span_id": self._record["span_id"]}
+
+    def envelope_context(self) -> Dict[str, str]:
+        """Cross-process context dict making this span a worker's parent."""
+        return dict(self.context, trace_dir=self._exporter.trace_dir)
+
+    def finish(self, attrs: Optional[Dict[str, Any]] = None) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if attrs:
+            self._record["attrs"].update(attrs)
+        self._record["end"] = time.time()
+        self._record["duration"] = time.perf_counter() - self._started
+        self._exporter.write(self._record)
+
+
+def begin_span(name: str, attrs: Optional[Dict[str, Any]] = None
+               ) -> Optional[SpanHandle]:
+    """Open a handle-managed span under the current context.
+
+    Returns ``None`` when tracing is off.  The record is written by
+    :meth:`SpanHandle.finish`; an unfinished handle writes nothing.
+    """
+    exporter = _exporter
+    if exporter is None:
+        return None
+    parent = _current.get()
+    record: Dict[str, Any] = {
+        "type": "span",
+        "trace_id": parent["trace_id"] if parent else _new_id(16),
+        "span_id": _new_id(8),
+        "parent_id": parent["span_id"] if parent else None,
+        "name": name,
+        "pid": os.getpid(),
+        "start": time.time(),
+        "attrs": dict(attrs or {}),
+    }
+    return SpanHandle(exporter, record, time.perf_counter())
+
+
+def add_event(name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+    """Record a point-in-time event under the current span (no-op when
+    tracing is off or no span is open)."""
+    exporter = _exporter
+    if exporter is None:
+        return
+    context = _current.get()
+    if context is None:
+        return
+    exporter.write({"type": "event",
+                    "trace_id": context["trace_id"],
+                    "span_id": context["span_id"],
+                    "name": name,
+                    "time": time.time(),
+                    "pid": os.getpid(),
+                    "attrs": dict(attrs or {})})
+
+
+# --------------------------------------------------------------------------- #
+# Reading traces back (``repro trace show``, tests)
+# --------------------------------------------------------------------------- #
+def read_trace(trace_directory: str,
+               trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+    """All span/event records of a trace dir (optionally one trace only).
+
+    Records come back sorted by start time; truncated trailing lines of a
+    live trace are skipped rather than raised.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(trace_directory))
+    except OSError:
+        return records
+    for name in names:
+        if not (name.startswith("spans-") and name.endswith(".jsonl")):
+            continue
+        path = os.path.join(trace_directory, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if trace_id is None or record.get("trace_id") == trace_id:
+                        records.append(record)
+        except OSError:
+            continue
+    records.sort(key=lambda r: r.get("start", r.get("time", 0.0)))
+    return records
+
+
+def span_tree(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Nest span records into trees (children under ``"children"``).
+
+    Events attach to their enclosing span's ``"events"`` list.  Spans whose
+    parent is unknown (still open, or filtered out) surface as roots.
+    """
+    spans = {record["span_id"]: dict(record, children=[], events=[])
+             for record in records if record.get("type") == "span"}
+    roots: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("type") == "event":
+            parent = spans.get(record.get("span_id"))
+            if parent is not None:
+                parent["events"].append(record)
+            continue
+        node = spans[record["span_id"]]
+        parent = spans.get(record.get("parent_id"))
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots

@@ -32,9 +32,12 @@ suite asserts byte-identical assignments between the two paths.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple
 
 import numpy as np
+
+from ..obs import get_registry
 
 __all__ = [
     "BITMASK_MAX_PARTITIONS",
@@ -492,6 +495,20 @@ class StreamingScoreState:
 # --------------------------------------------------------------------------- #
 # Per-partitioner kernels
 # --------------------------------------------------------------------------- #
+def _observe_kernel_rate(kernel: str, num_edges: int, elapsed: float) -> None:
+    """Record a kernel invocation's throughput in the metrics registry."""
+    registry = get_registry()
+    registry.counter(
+        "partitioner_edges_total",
+        "Edges streamed through partitioner kernels", ("kernel",),
+    ).labels(kernel).inc(num_edges)
+    if elapsed > 0.0:
+        registry.gauge(
+            "partitioner_edges_per_second",
+            "Throughput of the most recent kernel invocation", ("kernel",),
+        ).labels(kernel).set(num_edges / elapsed)
+
+
 def hdrf_kernel_assign(src: np.ndarray, dst: np.ndarray, num_vertices: int,
                        num_partitions: int, balance_weight: float,
                        epsilon: float = 1.0,
@@ -504,16 +521,20 @@ def hdrf_kernel_assign(src: np.ndarray, dst: np.ndarray, num_vertices: int,
     as one fused native pass; the numpy state machine below is the default
     and the reference, and results are identical either way.
     """
+    started = time.perf_counter()
     num_edges = src.shape[0]
     assignment = np.empty(num_edges, dtype=np.int64)
     deg_u, deg_v = streaming_partial_degrees(src, dst)
     coeff_u, coeff_v = replication_coefficients(deg_u, deg_v, mode="hdrf")
     compiled = _compiled_kernels(use_compiled)
     if compiled is not None:
-        return compiled.streaming_assign(
+        assignment = compiled.streaming_assign(
             _as_int64(src), _as_int64(dst), coeff_u, coeff_v,
             num_vertices, num_partitions, float(balance_weight),
             float(epsilon))
+        _observe_kernel_rate("hdrf", num_edges,
+                             time.perf_counter() - started)
+        return assignment
     state = StreamingScoreState(num_vertices, num_partitions,
                                 balance_weight=balance_weight, epsilon=epsilon)
     place = state.place
@@ -523,6 +544,7 @@ def hdrf_kernel_assign(src: np.ndarray, dst: np.ndarray, num_vertices: int,
                     coeff_u[start:stop].tolist(), coeff_v[start:stop].tolist())
         assignment[start:stop] = [place(u, v, cu, cv)
                                   for u, v, cu, cv in block]
+    _observe_kernel_rate("hdrf", num_edges, time.perf_counter() - started)
     return assignment
 
 
@@ -542,16 +564,20 @@ def two_ps_kernel_assign(src: np.ndarray, dst: np.ndarray, num_vertices: int,
     compiled tier (when enabled and importable) fuses the whole phase into
     one native pass with identical results.
     """
+    started = time.perf_counter()
     num_edges = src.shape[0]
     assignment = np.empty(num_edges, dtype=np.int64)
     deg_u, deg_v = streaming_partial_degrees(src, dst)
     coeff_u, coeff_v = replication_coefficients(deg_u, deg_v, mode="2ps")
     compiled = _compiled_kernels(use_compiled)
     if compiled is not None:
-        return compiled.two_ps_assign(
+        assignment = compiled.two_ps_assign(
             _as_int64(src), _as_int64(dst), deg_u, deg_v, coeff_u, coeff_v,
             _as_int64(preferred), num_vertices, num_partitions,
             float(capacity), float(balance_weight), float(epsilon))
+        _observe_kernel_rate("2ps", num_edges,
+                             time.perf_counter() - started)
+        return assignment
     state = StreamingScoreState(num_vertices, num_partitions,
                                 balance_weight=balance_weight,
                                 epsilon=epsilon, capacity=capacity)
@@ -582,6 +608,7 @@ def two_ps_kernel_assign(src: np.ndarray, dst: np.ndarray, num_vertices: int,
             out.append(chosen)
             state.assign(u, v, chosen)
         assignment[start:stop] = out
+    _observe_kernel_rate("2ps", num_edges, time.perf_counter() - started)
     return assignment
 
 
@@ -600,6 +627,7 @@ def hep_kernel_stream(src: np.ndarray, dst: np.ndarray, degrees: np.ndarray,
     vector.  The compiled tier (when enabled and importable) streams the
     same seeded state through one fused native pass with identical results.
     """
+    started = time.perf_counter()
     num_streamed = streamed_edges.shape[0]
     num_vertices = degrees.shape[0]
     deg_u = degrees[src[streamed_edges]]
@@ -620,6 +648,8 @@ def hep_kernel_stream(src: np.ndarray, dst: np.ndarray, degrees: np.ndarray,
             _as_int64(src), _as_int64(dst), _as_int64(streamed_edges),
             coeff_u, coeff_v, seed_sizes, seed_replicas, assignment,
             num_partitions, 1.0, 1.0, float(capacity))
+        _observe_kernel_rate("hep", num_streamed,
+                             time.perf_counter() - started)
         return
     state = StreamingScoreState(num_vertices, num_partitions,
                                 balance_weight=1.0, capacity=capacity)
@@ -659,3 +689,4 @@ def hep_kernel_stream(src: np.ndarray, dst: np.ndarray, degrees: np.ndarray,
                 best = int(np.argmax(state.raw_scores(u, v, cu, cv)))
             assignment[edge_id] = best
             state.assign(u, v, best)
+    _observe_kernel_rate("hep", num_streamed, time.perf_counter() - started)

@@ -20,6 +20,8 @@ import pickle
 import tempfile
 from typing import Any, Dict, Optional, Tuple
 
+from ..obs import get_registry
+
 __all__ = ["ArtifactStore"]
 
 #: Artifact keys are flat tuples whose first element names the artifact kind.
@@ -69,6 +71,13 @@ class ArtifactStore:
         self.misses = 0
         self.evicted_files = 0
         self.evicted_bytes = 0
+        registry = get_registry()
+        self._hits_counter = registry.counter(
+            "artifact_store_hits_total",
+            "Artifact store lookups answered from memory or disk")
+        self._misses_counter = registry.counter(
+            "artifact_store_misses_total",
+            "Artifact store lookups that required recomputation")
 
     # ------------------------------------------------------------------ #
     def path_for(self, key: ArtifactKey) -> Optional[str]:
@@ -88,6 +97,7 @@ class ArtifactStore:
         """Return the artifact stored under ``key`` or ``None``."""
         if key in self._memory:
             self.hits += 1
+            self._hits_counter.inc()
             return self._memory[key]
         path = self.path_for(key)
         if path is not None and os.path.exists(path):
@@ -98,6 +108,7 @@ class ArtifactStore:
                 # A truncated artifact (e.g. interrupted writer on a
                 # filesystem without atomic rename) is treated as absent.
                 self.misses += 1
+                self._misses_counter.inc()
                 return None
             try:
                 os.utime(path)  # refresh LRU recency for eviction
@@ -106,8 +117,10 @@ class ArtifactStore:
             if not self._is_transient(key):
                 self._memory[key] = value
             self.hits += 1
+            self._hits_counter.inc()
             return value
         self.misses += 1
+        self._misses_counter.inc()
         return None
 
     def put(self, key: ArtifactKey, value: Any) -> Any:

@@ -68,6 +68,12 @@ class TaskEnvelope:
     task: Any
     graph_fingerprint: str
     inputs: Dict[TaskId, Any] = field(default_factory=dict)
+    #: Tracing context of the driver's dispatch span
+    #: (:func:`repro.obs.envelope_context`); rides the envelope across the
+    #: process boundary so worker-side task spans stitch into one trace.
+    #: ``None`` when tracing is off (and on envelopes pickled before the
+    #: field existed).
+    trace: Optional[Dict[str, str]] = None
 
 
 class ExecutorBackend:
@@ -115,7 +121,7 @@ class InlineBackend(ExecutorBackend):
     def submit(self, envelope):
         graph = self._graphs[envelope.graph_fingerprint]
         payload = execute_task(envelope.task, graph, self._store,
-                               envelope.inputs)
+                               envelope.inputs, trace=envelope.trace)
         self._completed.append((envelope.task_id, payload))
 
     def next_completed(self):
@@ -195,7 +201,7 @@ def _init_pool_worker(graph_arrays: Dict[str, Tuple],
 def _pool_run_envelope(envelope: TaskEnvelope) -> Tuple[TaskId, Any]:
     graph = _WORKER_GRAPHS[envelope.graph_fingerprint]
     payload = execute_task(envelope.task, graph, _WORKER_STORE,
-                           envelope.inputs)
+                           envelope.inputs, trace=envelope.trace)
     return envelope.task_id, payload
 
 
@@ -461,6 +467,15 @@ class WorkerPoolBackend(ExecutorBackend):
                     requeued += 1
                 except OSError:
                     continue
+        if requeued:
+            from ..obs import add_event, get_registry
+
+            get_registry().counter(
+                "runtime_requeued_tasks_total",
+                "Stale claims of crashed workers returned to the queue") \
+                .inc(requeued)
+            add_event("requeue_stale", {"requeued": requeued,
+                                        "max_age_seconds": max_age_seconds})
         return requeued
 
     def close(self):
@@ -516,7 +531,8 @@ def _execute_claim(claimed_path: str, queue_dir: str,
             with open(graph_path, "rb") as handle:
                 graph = _graph_from_arrays(pickle.load(handle))
             graphs[envelope.graph_fingerprint] = graph
-        payload = execute_task(envelope.task, graph, store, envelope.inputs)
+        payload = execute_task(envelope.task, graph, store, envelope.inputs,
+                               trace=getattr(envelope, "trace", None))
         result = {"task_id": envelope.task_id, "ok": True, "payload": payload}
     except BaseException as error:  # ack the failure; the backend raises
         result = {"task_id": envelope.task_id, "ok": False,

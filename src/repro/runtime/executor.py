@@ -42,6 +42,7 @@ import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..obs import span
 from .artifacts import ArtifactStore
 from .backends import (
     ExecutorBackend,
@@ -293,7 +294,14 @@ class ProfileExecutor:
                                for fingerprint in needed_fingerprints},
                               self.cache_dir, store=store)
                 try:
-                    outcome = scheduler.execute(backend)
+                    # The driver's root span: every dispatch span (and,
+                    # transitively, every worker-side execute span) parents
+                    # back to it, so one run is one stitched trace.
+                    with span("profile.run",
+                              attrs={"backend": backend.name,
+                                     "jobs": self.jobs,
+                                     "tasks": len(task_graph.tasks)}):
+                        outcome = scheduler.execute(backend)
                 finally:
                     backend.close()
             else:

@@ -29,10 +29,13 @@ the artifact cache deliberately never holds.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from ..obs import get_registry
+from ..obs.trace import begin_span
 from .artifacts import ArtifactStore
 from .backends import ExecutorBackend, TaskEnvelope
 from .jobs import ProfilePlan
@@ -160,6 +163,15 @@ class Scheduler:
         self._schedulable: List = []
         self._consumers_left: Dict[TaskId, int] = {}
         self._done: Set[TaskId] = set()
+        registry = get_registry()
+        self._tasks_counter = registry.counter(
+            "runtime_tasks_total",
+            "Tasks satisfied, by kind and disposition "
+            "(executed/checkpoint/cache/pruned)", ("kind", "disposition"))
+        self._task_hist = registry.histogram(
+            "runtime_task_seconds",
+            "Wall time from task dispatch to completion, by kind",
+            ("kind",))
 
     # ------------------------------------------------------------------ #
     def prepass(self) -> Set[str]:
@@ -220,15 +232,32 @@ class Scheduler:
                 ready.append(task)
 
         in_flight: Dict[TaskId, Any] = {}
+        # task_id -> (dispatch time, dispatch SpanHandle or None); feeds the
+        # per-kind duration histogram and closes the dispatch span when the
+        # completion comes back.
+        dispatched: Dict[TaskId, Tuple[float, Any]] = {}
         executed_since_checkpoint = 0
         try:
             while ready or in_flight:
                 while ready:
                     task = ready.popleft()
                     in_flight[task.task_id] = task
-                    backend.submit(self._envelope(task))
+                    handle = begin_span(
+                        "task.dispatch",
+                        attrs={"task_id": repr(task.task_id),
+                               "kind": task.task_id[0],
+                               "backend": backend.name})
+                    trace = handle.envelope_context() if handle else None
+                    dispatched[task.task_id] = (time.monotonic(), handle)
+                    backend.submit(self._envelope(task, trace=trace))
                 task_id, payload = backend.next_completed()
                 task = in_flight.pop(task_id)
+                submitted_at, handle = dispatched.pop(task_id, (None, None))
+                if submitted_at is not None:
+                    self._task_hist.labels(task_id[0]).observe(
+                        time.monotonic() - submitted_at)
+                if handle is not None:
+                    handle.finish()
                 member_payloads = (payload if isinstance(task, FusedTask)
                                    else {task_id: payload})
                 for member_id, member_payload in member_payloads.items():
@@ -277,6 +306,7 @@ class Scheduler:
     def _record(self, task_id: TaskId, disposition: str,
                 payload: Any) -> None:
         self.outcome.dispositions[task_id] = disposition
+        self._tasks_counter.labels(task_id[0], disposition).inc()
         self._done.add(task_id)
         if disposition == DISPOSITION_PRUNED:
             return
@@ -293,12 +323,13 @@ class Scheduler:
         self.outcome.payloads[task_id] = payload
 
     # ------------------------------------------------------------------ #
-    def _envelope(self, task) -> TaskEnvelope:
+    def _envelope(self, task,
+                  trace: Optional[Dict[str, str]] = None) -> TaskEnvelope:
         inputs = {dep: self._input_payload(dep)
                   for dep in task.input_dependencies}
         return TaskEnvelope(task_id=task.task_id, task=task,
                             graph_fingerprint=task.graph_fingerprint,
-                            inputs=inputs)
+                            inputs=inputs, trace=trace)
 
     def _input_payload(self, dep: TaskId) -> Any:
         payload = self.outcome.payloads.get(dep)

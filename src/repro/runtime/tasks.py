@@ -450,6 +450,22 @@ class FusedTask:
 
 
 def execute_task(task, graph: Graph, store: ArtifactStore,
-                 inputs: Optional[Dict[TaskId, Any]] = None):
-    """Execute one task (or fused group): the entry point of every backend."""
-    return task.execute(graph, store, inputs or {})
+                 inputs: Optional[Dict[TaskId, Any]] = None,
+                 trace: Optional[Dict[str, str]] = None):
+    """Execute one task (or fused group): the entry point of every backend.
+
+    ``trace`` is an optional envelope-borne tracing context
+    (:func:`repro.obs.envelope_context`); with one, the execution is
+    wrapped in a worker-side span parented to the driver's dispatch span,
+    so a stitched ``repro trace show`` covers driver and workers alike.
+    """
+    if trace is None:
+        return task.execute(graph, store, inputs or {})
+    from ..obs import task_span
+
+    task_id = getattr(task, "task_id", None)
+    with task_span(trace, "task.execute",
+                   attrs={"task_id": repr(task_id),
+                          "kind": task_id[0] if task_id else None,
+                          "graph": graph.name}):
+        return task.execute(graph, store, inputs or {})

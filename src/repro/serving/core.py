@@ -44,6 +44,7 @@ Endpoints:
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs
@@ -52,6 +53,8 @@ import numpy as np
 
 from ..graph import Graph, GraphProperties
 from ..ease.selector import OptimizationGoal, PartitionerScore, SelectionResult
+from ..obs import get_registry
+from ..obs.metrics import ScrapeDir
 from .router import ModelRouter
 
 __all__ = ["BadRequest", "MAX_BODY_BYTES", "RequestCore", "Response",
@@ -78,8 +81,14 @@ class Response:
     #: one (set on framing errors where request bytes may still be in
     #: flight and would desync the stream).
     close_connection: bool = False
+    content_type: str = "application/json"
+    #: Pre-rendered non-JSON body (the Prometheus exposition of
+    #: ``/metrics``); when set it wins over ``payload``.
+    text: Optional[str] = None
 
     def body(self) -> bytes:
+        if self.text is not None:
+            return self.text.encode("utf-8")
         return json.dumps(self.payload).encode("utf-8")
 
 
@@ -214,14 +223,36 @@ class RequestCore:
     registry:
         Optional registry backing ``/v1/models``; without one the endpoint
         describes only the loaded models.
+    scrape_dir:
+        Optional :class:`~repro.obs.metrics.ScrapeDir` (or its path).  With
+        one, ``GET /metrics`` renders the exposition merged across every
+        live process flushing into the directory (the prefork pool), and
+        this process flushes its own slot after each handled request so
+        whichever sibling answers the next scrape sees exact counts.
+        Without one, ``/metrics`` renders this process's registry alone.
     """
 
     MODEL_HEADER = "X-Repro-Model"
 
+    #: Content type of the Prometheus text exposition (version 0.0.4).
+    METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
     def __init__(self, router: ModelRouter,
-                 registry=None) -> None:
+                 registry=None,
+                 scrape_dir: Optional[Union[ScrapeDir, str]] = None) -> None:
         self.router = router
         self.registry = registry
+        if isinstance(scrape_dir, str):
+            scrape_dir = ScrapeDir(scrape_dir)
+        self.scrape_dir = scrape_dir
+        metrics = get_registry()
+        self._request_hist = metrics.histogram(
+            "serving_request_seconds",
+            "Wall time handling one POST request by route and status",
+            ("route", "status"))
+        self._admission_wait_hist = metrics.histogram(
+            "serving_admission_wait_seconds",
+            "Time from request receipt to the admission decision")
 
     # ------------------------------------------------------------------ #
     def error(self, status: int, message: str,
@@ -238,7 +269,14 @@ class RequestCore:
             if method == "GET":
                 return self._handle_get(path, query)
             if method == "POST":
-                return self._handle_post(path, headers, body)
+                started = time.perf_counter()
+                response = self._handle_post(path, headers, body)
+                if path in ("/v1/select", "/v1/predict"):
+                    self._request_hist.labels(path, str(response.status)) \
+                        .observe(time.perf_counter() - started)
+                if self.scrape_dir is not None:
+                    self.scrape_dir.flush()
+                return response
             return self.error(405, f"method {method!r} not allowed")
         except BadRequest as error:
             return self.error(400, str(error))
@@ -258,7 +296,19 @@ class RequestCore:
                 return self.error(400, str(error).strip("'\""))
         if path == "/v1/models":
             return self.models_response()
+        if path == "/metrics":
+            return self.metrics_response()
         return self.error(404, f"unknown path {path!r}")
+
+    def metrics_response(self) -> Response:
+        """Prometheus text exposition — pool-merged when a scrape dir is
+        configured, this process's registry alone otherwise."""
+        if self.scrape_dir is not None:
+            text = self.scrape_dir.render()
+        else:
+            text = get_registry().render()
+        return Response(200, {}, content_type=self.METRICS_CONTENT_TYPE,
+                        text=text)
 
     def models_response(self) -> Response:
         """Registry contents plus the models loaded under each routing tag.
@@ -321,10 +371,14 @@ class RequestCore:
     def _handle_post(self, path: str, headers, body) -> Response:
         if path not in ("/v1/select", "/v1/predict"):
             return self.error(404, f"unknown path {path!r}")
+        admission_started = time.perf_counter()
         payload = self._decode_body(body)
         tag, service = self._route(payload, headers)
         gate = service.admission
-        if not gate.try_acquire():
+        admitted = gate.try_acquire()
+        self._admission_wait_hist.observe(
+            time.perf_counter() - admission_started)
+        if not admitted:
             retry_after = max(1, round(gate.retry_after_seconds))
             return Response(
                 429,

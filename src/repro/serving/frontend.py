@@ -28,11 +28,14 @@ the platforms the profiling runtime already forks on.
 from __future__ import annotations
 
 import os
+import shutil
 import signal
 import socket
 import sys
+import tempfile
 from typing import Dict, Optional, Tuple, Union
 
+from ..obs.metrics import ScrapeDir
 from .http import SelectionHTTPServer
 from .registry import ModelRegistry
 from .router import ModelRouter
@@ -64,13 +67,20 @@ class PreforkFrontend:
         Total number of times dead workers are replaced before the pool
         gives up and shuts down (a crash-looping model should not retry
         forever).
+    scrape_dir:
+        Shared metrics scrape directory every worker flushes its registry
+        into, so ``GET /metrics`` answered by any one worker covers the
+        whole pool.  ``None`` (default) creates a private temporary
+        directory, removed on :meth:`shutdown`; pass a path to scrape the
+        slot files out-of-band (``repro metrics --scrape-dir``).
     """
 
     def __init__(self, service: Union[SelectionService, ModelRouter],
                  registry: Optional[ModelRegistry] = None,
                  host: str = "127.0.0.1", port: int = 8080,
                  workers: int = 2, verbose: bool = False,
-                 max_respawns: int = 100) -> None:
+                 max_respawns: int = 100,
+                 scrape_dir: Optional[str] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_respawns < 0:
@@ -87,6 +97,10 @@ class PreforkFrontend:
         self.verbose = verbose
         self.max_respawns = max_respawns
         self._children: Dict[int, int] = {}  # pid -> worker index
+        self._owns_scrape_dir = scrape_dir is None
+        if scrape_dir is None:
+            scrape_dir = tempfile.mkdtemp(prefix="repro-scrape-")
+        self.scrape_dir = ScrapeDir(scrape_dir)
         self._listener = socket.create_server(
             (host, port), family=socket.AF_INET, backlog=128,
             reuse_port=False)
@@ -129,7 +143,11 @@ class PreforkFrontend:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
         server = SelectionHTTPServer(self.router, registry=self.registry,
                                      verbose=self.verbose,
-                                     listen_socket=self._listener)
+                                     listen_socket=self._listener,
+                                     scrape_dir=self.scrape_dir)
+        # Flush an initial (zeroed) slot so a scrape right after startup
+        # already sees every worker of the pool.
+        self.scrape_dir.flush()
         # serve_forever starts the router's batchers/watcher and stops them
         # on the way out (the SIGTERM-raised SystemExit lands here).
         server.serve_forever(poll_interval=0.1)
@@ -184,6 +202,8 @@ class PreforkFrontend:
             self._listener.close()
         except OSError:  # pragma: no cover - already closed
             pass
+        if self._owns_scrape_dir:
+            shutil.rmtree(self.scrape_dir.path, ignore_errors=True)
 
     def __enter__(self) -> "PreforkFrontend":
         return self

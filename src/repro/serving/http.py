@@ -48,7 +48,7 @@ class _SelectionRequestHandler(BaseHTTPRequestHandler):
         if response.close_connection:
             self.close_connection = True
         self.send_response(response.status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in response.headers:
             self.send_header(name, value)
@@ -117,6 +117,11 @@ class SelectionHTTPServer(ThreadingHTTPServer):
         binding ``(host, port)`` — the prefork frontend binds once in the
         parent and passes the inherited socket to each forked worker's
         server, so all workers accept from one shared queue.
+    scrape_dir:
+        Optional shared metrics scrape directory (path or
+        :class:`~repro.obs.metrics.ScrapeDir`) passed through to the
+        request core so ``GET /metrics`` aggregates across the prefork
+        pool flushing into it.
     """
 
     daemon_threads = True
@@ -125,12 +130,14 @@ class SelectionHTTPServer(ThreadingHTTPServer):
                  registry: Optional[ModelRegistry] = None,
                  host: str = "127.0.0.1", port: int = 8080,
                  verbose: bool = False,
-                 listen_socket: Optional[socket.socket] = None) -> None:
+                 listen_socket: Optional[socket.socket] = None,
+                 scrape_dir=None) -> None:
         if isinstance(service, ModelRouter):
             self.router = service
         else:
             self.router = ModelRouter({"default": service})
-        self.core = RequestCore(self.router, registry=registry)
+        self.core = RequestCore(self.router, registry=registry,
+                                scrape_dir=scrape_dir)
         self.registry = registry
         self.verbose = verbose
         if listen_socket is None:

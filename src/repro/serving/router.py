@@ -26,6 +26,7 @@ import threading
 import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..obs import get_registry
 from .registry import ModelRegistry
 from .service import GraphResolver, SelectionService
 
@@ -77,8 +78,17 @@ class ModelRouter:
                 f"{sorted(self.services)}")
         self.watch_interval = watch_interval
         self.started_at = time.time()
-        self.watch_checks = 0
-        self.watch_reloads = 0
+        from .service import _instance_label
+        self.instance = _instance_label("router")
+        registry = get_registry()
+        self._watch_checks = registry.counter(
+            "serving_router_watch_checks_total",
+            "Registry tag-watcher poll rounds", ("router",)) \
+            .labels(self.instance)
+        self._watch_reloads = registry.counter(
+            "serving_router_watch_reloads_total",
+            "Model reloads triggered by the tag watcher", ("router",)) \
+            .labels(self.instance)
         self._watch_stop = threading.Event()
         self._watcher: Optional[threading.Thread] = None
         self._lifecycle_lock = threading.Lock()
@@ -211,9 +221,18 @@ class ModelRouter:
                 # kill the watcher (or a caller's thread); the next poll
                 # simply retries.
                 continue
-        self.watch_checks += 1
-        self.watch_reloads += reloaded
+        self._watch_checks.inc()
+        if reloaded:
+            self._watch_reloads.inc(reloaded)
         return reloaded
+
+    @property
+    def watch_checks(self) -> int:
+        return int(self._watch_checks.value)
+
+    @property
+    def watch_reloads(self) -> int:
+        return int(self._watch_reloads.value)
 
     def _watch_loop(self) -> None:
         while not self._watch_stop.wait(self.watch_interval):

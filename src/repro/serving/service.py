@@ -29,6 +29,7 @@ its properties with one :func:`repro.graph.compute_properties_batch` call
 
 from __future__ import annotations
 
+import itertools
 import os
 import queue
 import threading
@@ -37,6 +38,9 @@ from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..obs import get_registry
+from ..obs.metrics import SIZE_BUCKETS
 
 from ..graph import (
     Graph,
@@ -59,6 +63,17 @@ from .registry import ModelRegistry, ModelVersion
 
 __all__ = ["AdmissionGate", "GraphResolver", "SelectionService", "ServiceStats"]
 
+#: Process-wide sequence distinguishing service/gate/resolver instances in
+#: the metrics registry.  The registry outlives any one instance, so each
+#: instance gets its own ``service="<prefix>:<seq>"`` label value and starts
+#: from zeroed children.  A prefork pool forks *after* construction, so all
+#: workers share one label value and their slot files merge by exact sum.
+_INSTANCE_SEQUENCE = itertools.count()
+
+
+def _instance_label(prefix: str) -> str:
+    return f"{prefix}:{next(_INSTANCE_SEQUENCE)}"
+
 
 class AdmissionGate:
     """Bounded in-flight admission gate of one service.
@@ -69,36 +84,64 @@ class AdmissionGate:
     request is *shed* — the core answers ``429`` with a ``Retry-After`` hint
     instead of queueing unboundedly.  ``limit=None`` admits everything but
     still counts in-flight requests, so ``/healthz`` always reports load.
+
+    The counters live in the process metrics registry (one ``service``-
+    labeled series per gate instance) — ``/healthz``, ``/metrics`` and the
+    ``in_flight`` / ``admitted_total`` / ``shed_total`` attributes all read
+    the same source of truth.
     """
 
     def __init__(self, limit: Optional[int] = None,
-                 retry_after_seconds: float = 1.0) -> None:
+                 retry_after_seconds: float = 1.0,
+                 instance: Optional[str] = None) -> None:
         if limit is not None and limit < 1:
             raise ValueError("admission limit must be >= 1 (None = unlimited)")
         if retry_after_seconds <= 0:
             raise ValueError("retry_after_seconds must be > 0")
         self.limit = limit
         self.retry_after_seconds = retry_after_seconds
+        self.instance = instance or _instance_label("gate")
         self._lock = threading.Lock()
-        self.in_flight = 0
-        self.admitted_total = 0
-        self.shed_total = 0
+        registry = get_registry()
+        labels = ("service",)
+        self._in_flight = registry.gauge(
+            "serving_inflight_requests",
+            "Requests currently between admission and response",
+            labels).labels(self.instance)
+        self._admitted = registry.counter(
+            "serving_admitted_total", "Requests admitted past the gate",
+            labels).labels(self.instance)
+        self._shed = registry.counter(
+            "serving_shed_total", "Requests shed with 429 at the gate",
+            labels).labels(self.instance)
+
+    @property
+    def in_flight(self) -> int:
+        return int(self._in_flight.value)
+
+    @property
+    def admitted_total(self) -> int:
+        return int(self._admitted.value)
+
+    @property
+    def shed_total(self) -> int:
+        return int(self._shed.value)
 
     def try_acquire(self) -> bool:
         """Take one slot; False (and a shed count) when the gate is full."""
         with self._lock:
             if self.limit is not None and self.in_flight >= self.limit:
-                self.shed_total += 1
+                self._shed.inc()
                 return False
-            self.in_flight += 1
-            self.admitted_total += 1
+            self._in_flight.inc()
+            self._admitted.inc()
             return True
 
     def release(self) -> None:
         with self._lock:
             if self.in_flight <= 0:
                 raise RuntimeError("AdmissionGate.release without acquire")
-            self.in_flight -= 1
+            self._in_flight.dec()
 
     def as_dict(self) -> Dict:
         with self._lock:
@@ -132,6 +175,16 @@ class GraphResolver:
         self.cache_size = cache_size
         self._lock = threading.Lock()
         self._open: "OrderedDict[str, Graph]" = OrderedDict()
+        self.instance = _instance_label("resolver")
+        registry = get_registry()
+        self._hits = registry.counter(
+            "serving_graph_lru_hits_total",
+            "Stored-graph opens answered by the open-graph LRU",
+            ("resolver",)).labels(self.instance)
+        self._misses = registry.counter(
+            "serving_graph_lru_misses_total",
+            "Stored-graph opens that had to hit the graph store",
+            ("resolver",)).labels(self.instance)
 
     def resolve(self, fingerprint: str) -> Graph:
         """Open a stored graph by content fingerprint (O(1) memory-map).
@@ -143,7 +196,9 @@ class GraphResolver:
             cached = self._open.get(fingerprint)
             if cached is not None:
                 self._open.move_to_end(fingerprint)
+                self._hits.inc()
                 return cached
+        self._misses.inc()
         try:
             graph = self.store.open(fingerprint)
         except GraphStoreError as error:
@@ -160,7 +215,6 @@ class GraphResolver:
             return len(self._open)
 
 
-@dataclass
 class ServiceStats:
     """Request/batch accounting of one service instance.
 
@@ -169,18 +223,55 @@ class ServiceStats:
     extraction actually sampled because exhaustive counting would have
     blown the wedge budget (the rest fit and got exact values).  Both
     surface per model tag through ``/healthz``.
+
+    Every count is backed by the process metrics registry under a
+    ``service``-labeled series unique to this instance, so ``/healthz``,
+    ``GET /metrics`` and the plain attribute reads
+    (``service.stats.requests`` ...) are one source of truth.  Mutation
+    goes through :meth:`inc` / :meth:`observe_batch`; attribute reads
+    return the registry values.
     """
 
-    requests: int = 0
-    batches: int = 0
-    batched_requests: int = 0
-    max_batch_size: int = 0
-    property_cache_hits: int = 0
-    property_cache_misses: int = 0
-    result_cache_hits: int = 0
-    result_cache_misses: int = 0
-    approximate_hits: int = 0
-    budget_exhausted: int = 0
+    _COUNTER_HELP = {
+        "requests": "Requests answered (cache hits included)",
+        "batches": "Micro-batches executed",
+        "batched_requests": "Requests that went through a micro-batch",
+        "property_cache_hits": "Property-cache hits",
+        "property_cache_misses": "Property-cache misses",
+        "result_cache_hits": "Result-cache hits",
+        "result_cache_misses": "Result-cache misses",
+        "approximate_hits": "Requests answered with approximate properties",
+        "budget_exhausted": "Approximate requests that actually sampled",
+    }
+
+    def __init__(self, instance: Optional[str] = None) -> None:
+        registry = get_registry()
+        self.instance = instance or _instance_label("service")
+        counters = {}
+        for name, help_text in self._COUNTER_HELP.items():
+            family = registry.counter(f"serving_{name}_total", help_text,
+                                      ("service",))
+            counters[name] = family.labels(self.instance)
+        self._counters = counters
+        self._max_batch = registry.gauge(
+            "serving_max_batch_size", "Largest micro-batch executed",
+            ("service",)).labels(self.instance)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+
+    def observe_batch(self, size: int) -> None:
+        self._max_batch.set_max(size)
+
+    def __getattr__(self, name: str) -> int:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
+
+    @property
+    def max_batch_size(self) -> int:
+        return int(self._max_batch.value)
 
     def mean_batch_size(self) -> float:
         return self.batched_requests / self.batches if self.batches else 0.0
@@ -209,6 +300,9 @@ class _Pending:
     #: against an older generation is never written to the cache (the model
     #: may have been swapped while the batch was in flight).
     generation: int = 0
+    #: ``time.monotonic()`` at enqueue; feeds the batch-queue-wait
+    #: histogram when the batch executes (0.0 = never enqueued).
+    enqueued_at: float = 0.0
 
 
 _STOP = object()
@@ -289,8 +383,29 @@ class SelectionService:
             self.graph_resolver = graph_store
         else:
             self.graph_resolver = GraphResolver(graph_store)
-        self.admission = AdmissionGate(max_inflight)
-        self.stats = ServiceStats()
+        # One instance label shared by every metric series of this service
+        # (fresh series per instance; prefork workers fork after this and
+        # therefore share the label, so pool merges sum exactly).
+        self.instance = _instance_label(
+            str(dict(model_info or {}).get("name") or "service"))
+        self.admission = AdmissionGate(max_inflight, instance=self.instance)
+        self.stats = ServiceStats(instance=self.instance)
+        registry = get_registry()
+        self._queue_wait_hist = registry.histogram(
+            "serving_batch_queue_wait_seconds",
+            "Time a request waited in the micro-batch queue",
+            ("service",)).labels(self.instance)
+        self._batch_size_hist = registry.histogram(
+            "serving_batch_size", "Coalesced micro-batch sizes",
+            ("service",), buckets=SIZE_BUCKETS).labels(self.instance)
+        self._inference_hist = registry.histogram(
+            "serving_inference_seconds",
+            "Vectorized predictor pass latency per micro-batch",
+            ("service",)).labels(self.instance)
+        self._property_hist = registry.histogram(
+            "serving_property_resolve_seconds",
+            "Property-extraction latency of cache misses by mode",
+            ("service", "mode"))
         self.started_at = time.time()
         # Keyed by (fingerprint, mode key) -> (properties, extraction info);
         # exact and approximate extractions of the same graph never collide.
@@ -494,10 +609,10 @@ class SelectionService:
                 cached = self._properties.get(cache_key)
                 if cached is not None:
                     self._properties.move_to_end(cache_key)
-                    self.stats.property_cache_hits += 1
+                    self.stats.inc("property_cache_hits")
                     resolved[position] = cached
                 else:
-                    self.stats.property_cache_misses += 1
+                    self.stats.inc("property_cache_misses")
                     missing.setdefault(cache_key,
                                        (graphs[position], modes[position]))
         if missing:
@@ -507,16 +622,23 @@ class SelectionService:
             if exact_keys:
                 # Same settings as PartitionerSelector._resolve_properties,
                 # so cached and uncached requests answer identically.
+                started = time.perf_counter()
                 exact_props = compute_properties_batch(
                     [missing[key][0] for key in exact_keys],
                     exact_triangles=False)
+                self._property_hist.labels(self.instance, "exact").observe(
+                    time.perf_counter() - started)
                 for key, properties in zip(exact_keys, exact_props):
                     computed[key] = (properties, None)
             for key, (graph, mode) in missing.items():
                 if mode == "exact":
                     continue
+                started = time.perf_counter()
                 properties, stats = approximate_properties(
                     graph, wedge_budget=self.approximate_wedge_budget)
+                self._property_hist.labels(
+                    self.instance, "approximate").observe(
+                        time.perf_counter() - started)
                 computed[key] = (properties,
                                  {"mode": "approximate", **stats.as_dict()})
             with self._lock:
@@ -541,9 +663,9 @@ class SelectionService:
             if info is not None and info.get("budget_exhausted"):
                 exhausted += 1
         if approximate_hits:
-            with self._lock:
-                self.stats.approximate_hits += approximate_hits
-                self.stats.budget_exhausted += exhausted
+            self.stats.inc("approximate_hits", approximate_hits)
+            if exhausted:
+                self.stats.inc("budget_exhausted", exhausted)
         return resolved
 
     # ------------------------------------------------------------------ #
@@ -676,10 +798,10 @@ class SelectionService:
                     cached = self._results.get(key)
                     if cached is not None:
                         self._results.move_to_end(key)
-                        self.stats.result_cache_hits += 1
-                        self.stats.requests += 1
+                        self.stats.inc("result_cache_hits")
+                        self.stats.inc("requests")
                     else:
-                        self.stats.result_cache_misses += 1
+                        self.stats.inc("result_cache_misses")
                         generation = self._model_generation
             if cached is not None:
                 future: "Future[SelectionResult]" = Future()
@@ -695,6 +817,7 @@ class SelectionService:
                 running = self.running
                 if running:
                     for pending in misses:
+                        pending.enqueued_at = time.monotonic()
                         self._queue.put(pending)
             if not running:
                 self._execute(misses)
@@ -763,12 +886,16 @@ class SelectionService:
                 return
 
     def _execute(self, batch: List[_Pending]) -> None:
-        with self._lock:
-            self.stats.requests += len(batch)
-            self.stats.batches += 1
-            self.stats.batched_requests += len(batch)
-            self.stats.max_batch_size = max(self.stats.max_batch_size,
-                                            len(batch))
+        self.stats.inc("requests", len(batch))
+        self.stats.inc("batches")
+        self.stats.inc("batched_requests", len(batch))
+        self.stats.observe_batch(len(batch))
+        self._batch_size_hist.observe(len(batch))
+        dequeued = time.monotonic()
+        for pending in batch:
+            if pending.enqueued_at:
+                self._queue_wait_hist.observe(dequeued - pending.enqueued_at)
+        inference_started = time.perf_counter()
         try:
             results = self.system.selector.select_batch(
                 [pending.request for pending in batch])
@@ -777,6 +904,7 @@ class SelectionService:
                 if not pending.future.done():
                     pending.future.set_exception(error)
             return
+        self._inference_hist.observe(time.perf_counter() - inference_started)
         cacheable = [(pending, result)
                      for pending, result in zip(batch, results)
                      if pending.cache_key is not None]
