@@ -209,6 +209,12 @@ def _command_profile(args: argparse.Namespace) -> int:
         graphs = [graph for graph in graphs if graph.name not in known]
         print(f"extending {args.extend}: {len(skipped)} graphs already "
               f"profiled, {len(graphs)} new")
+    from .faults import FailurePolicy, QuarantineError
+
+    if args.max_task_attempts < 1:
+        raise SystemExit("--max-task-attempts must be >= 1")
+    policy = FailurePolicy(max_attempts=args.max_task_attempts,
+                           default_task_deadline=args.task_deadline_seconds)
     profiler = GraphProfiler(
         partitioner_names=args.partitioners,
         partition_counts=tuple(args.partition_counts),
@@ -220,13 +226,32 @@ def _command_profile(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         backend=args.backend,
-        queue_dir=args.queue_dir)
+        queue_dir=args.queue_dir,
+        failure_policy=policy)
     checkpoint_path = args.output + ".checkpoint"
     if not args.resume and os.path.exists(checkpoint_path):
         os.remove(checkpoint_path)
     if graphs:
-        dataset = profiler.profile(graphs, graphs,
-                                   checkpoint_path=checkpoint_path)
+        try:
+            dataset = profiler.profile(graphs, graphs,
+                                       checkpoint_path=checkpoint_path)
+        except QuarantineError as error:
+            # The checkpoint is left in place: fix the cause and re-run
+            # with --resume to retry only the quarantined work.
+            print(f"profiling aborted: {error}", file=sys.stderr)
+            for record in error.records:
+                last_line = record.traceback.strip().splitlines()[-1] \
+                    if record.traceback else record.error
+                print(f"  quarantined {record.task_id} "
+                      f"({record.kind}, {record.attempts} attempts): "
+                      f"{last_line}", file=sys.stderr)
+            if args.stats_json and error.stats is not None:
+                _write_profile_stats(args.stats_json, error.stats)
+                print(f"run stats written to {args.stats_json}",
+                      file=sys.stderr)
+            print(f"checkpoint kept at {checkpoint_path}; re-run with "
+                  f"--resume after fixing the cause", file=sys.stderr)
+            return 3
     else:
         dataset = ProfileDataset()
     if existing is not None:
@@ -247,6 +272,10 @@ def _command_profile(args: argparse.Namespace) -> int:
               f"{stats.cache_hit_tasks} from cache, "
               f"{stats.checkpoint_tasks} from checkpoint "
               f"of {stats.total_tasks} total")
+        if stats.retried_tasks or stats.deadline_failures:
+            print(f"failure policy: {stats.retried_tasks} retries, "
+                  f"{stats.deadline_failures} deadline expiries "
+                  f"(all tasks recovered)")
     if args.stats_json:
         _write_profile_stats(args.stats_json, stats)
         print(f"run stats written to {args.stats_json}")
@@ -269,7 +298,8 @@ def _command_worker(args: argparse.Namespace) -> int:
     processed = run_worker(args.queue_dir,
                            poll_interval=args.poll_interval,
                            max_tasks=args.max_tasks,
-                           stop_when_idle=args.drain)
+                           stop_when_idle=args.drain,
+                           heartbeat_interval=args.heartbeat_interval)
     # The event text is load-bearing: callers (and tests) match the
     # "worker exiting after N tasks" line on stdout.
     logger.info(f"worker exiting after {processed} tasks")
@@ -463,7 +493,11 @@ def _build_router(args: argparse.Namespace):
         max_batch_size=args.max_batch_size,
         batch_wait_seconds=args.batch_wait_ms / 1000.0,
         max_inflight=args.max_inflight,
-        approximate_wedge_budget=args.approximate_wedge_budget)
+        approximate_wedge_budget=args.approximate_wedge_budget,
+        exact_deadline_seconds=(args.exact_deadline_ms / 1000.0
+                                if args.exact_deadline_ms else None),
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset_seconds)
     return router, registry
 
 
@@ -712,6 +746,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="wall-clock timing measurements per "
                               "combination (mean/std recorded; ignored in "
                               "model mode)")
+    profile.add_argument("--max-task-attempts", type=int, default=3,
+                         help="attempts per task before it is quarantined "
+                              "as poison (default 3)")
+    profile.add_argument("--task-deadline-seconds", type=float, default=None,
+                         help="per-task execution deadline; an expired task "
+                              "counts as a failure against its retry budget "
+                              "(default: none)")
     profile.add_argument("--resume", action="store_true",
                          help="resume from the checkpoint left by an "
                               "interrupted run of the same command")
@@ -742,6 +783,10 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--max-tasks", type=int, default=None,
                         help="exit after this many tasks (default: serve "
                              "until the queue's stop sentinel appears)")
+    worker.add_argument("--heartbeat-interval", type=float, default=1.0,
+                        help="seconds between worker heartbeat-file "
+                             "refreshes (drivers veto stale-claim requeues "
+                             "while the heartbeat is fresh; default 1.0)")
     worker.add_argument("--drain", action="store_true",
                         help="exit as soon as the queue is empty instead of "
                              "waiting for the stop sentinel")
@@ -888,6 +933,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission limit per model and worker process: "
                             "requests beyond this many in flight are shed "
                             "with 429 + Retry-After (default: unlimited)")
+    serve.add_argument("--exact-deadline-ms", type=float, default=None,
+                       help="deadline on exact property extraction; past "
+                            "it a request is answered from approximate "
+                            "properties with a degraded:true marker "
+                            "(default: never degrade)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive internal errors before the "
+                            "per-model circuit breaker opens and sheds "
+                            "with 503 + Retry-After (default 5)")
+    serve.add_argument("--breaker-reset-seconds", type=float, default=5.0,
+                       help="how long an open circuit breaker waits before "
+                            "half-open probe requests (default 5.0)")
     serve.add_argument("--approximate-wedge-budget", type=int, default=None,
                        help="wedge-sample cap of properties_mode="
                             "'approximate' requests (bounds first-hit "

@@ -106,7 +106,8 @@ class GraphProfiler:
                  cache_dir: Optional[str] = None,
                  backend=None,
                  queue_dir: Optional[str] = None,
-                 time_repeats: int = 1) -> None:
+                 time_repeats: int = 1,
+                 failure_policy=None) -> None:
         if partitioning_time_mode not in ("model", "wall_clock"):
             raise ValueError("partitioning_time_mode must be 'model' or "
                              "'wall_clock'")
@@ -127,6 +128,10 @@ class GraphProfiler:
         self.backend = backend
         self.queue_dir = queue_dir
         self.time_repeats = time_repeats
+        #: Optional :class:`repro.faults.FailurePolicy` governing retries,
+        #: quarantine and deadlines of the profiling runtime (``None`` uses
+        #: the policy defaults).
+        self.failure_policy = failure_policy
         self._cost_model = PartitioningCostModel()
         #: Accounting of the most recent profiling run (job counts, cache
         #: hit rate, partitions computed); ``None`` before the first run.
@@ -203,7 +208,8 @@ class GraphProfiler:
             checkpoint_path=checkpoint_path,
             backend=self.backend if backend is None else backend,
             queue_dir=self.queue_dir,
-            time_repeats=self.time_repeats)
+            time_repeats=self.time_repeats,
+            policy=self.failure_policy)
         results, stats = executor.run(plan)
         self.last_run_stats = stats
         return build_dataset(plan, results, progress=progress)

@@ -1,0 +1,372 @@
+"""Deterministic fault injection for the runtime and serving layers.
+
+A :class:`FaultPlan` arms named *fault points* — well-known call sites such
+as ``artifact.write`` or ``worker.execute`` — with faults that fire on the
+N-th hit of the point: raise an exception, crash the process, sleep, or tear
+a write in half.  Plans are deterministic (same plan + same execution order
+=> same faults), build programmatically or parse from the ``REPRO_FAULTS``
+environment variable, and cost a single ``None`` check per call site when no
+plan is armed.
+
+Grammar (comma-separated specs)::
+
+    REPRO_FAULTS=point:kind:nth[:arg][,point:kind:nth[:arg]...]
+
+* ``point`` — a fault-point name (see :data:`FAULT_POINTS`).
+* ``kind`` — ``error`` | ``crash`` | ``delay`` | ``torn``.
+* ``nth`` — a 1-based hit number (the fault fires exactly once, on that
+  hit of the point) or ``*`` (fires on every matching hit).
+* ``arg`` — kind-specific: seconds for ``delay``, the kept fraction for
+  ``torn``, a substring filter on the call-site key for ``error`` and
+  ``crash`` (e.g. ``worker.execute:error:*:quality`` poisons only quality
+  tasks).
+
+Cross-process coordination: when a *state directory* accompanies the plan
+(``REPRO_FAULTS_STATE`` or the ``state_dir`` argument of
+:func:`install_plan`), one-shot specs (integer ``nth``) leave a marker file
+after firing so a respawned worker inheriting the same plan does not fire
+the same crash again.  ``*`` specs never use markers.
+
+``crash`` exits via ``os._exit`` (no cleanup, exit code
+:data:`CRASH_EXIT_CODE`) — the closest stdlib approximation of SIGKILL.
+``torn`` is cooperative: :func:`fire` returns the matched spec and the call
+site truncates its own write via :func:`tear`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..obs import add_event, get_logger, get_registry
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_PLAN",
+    "ENV_STATE",
+    "EVERY_HIT",
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "active_state_dir",
+    "clear_plan",
+    "fire",
+    "install_plan",
+    "tear",
+]
+
+#: Environment variables consulted by :func:`active_plan`.
+ENV_PLAN = "REPRO_FAULTS"
+ENV_STATE = "REPRO_FAULTS_STATE"
+
+#: Exit code of ``crash`` faults; distinct from normal failure codes so a
+#: supervising test can tell an injected crash from an ordinary error.
+CRASH_EXIT_CODE = 23
+
+#: ``nth`` value meaning "every matching hit".
+EVERY_HIT = 0
+
+#: Registered fault points and the call sites that fire them.  ``fire``
+#: accepts unknown points too (forward compatibility for experiments), but
+#: plan parsing warns about names not listed here.
+FAULT_POINTS: Dict[str, str] = {
+    "artifact.write": "ArtifactStore.put — the atomic cache-mirror write",
+    "checkpoint.append": "CheckpointJournal.append — a checkpoint frame",
+    "queue.claim": "worker-side task claim in the directory queue",
+    "queue.ack": "worker-side result write in the directory queue",
+    "worker.execute": "execute_task entry, on every backend",
+    "serving.resolve_properties": "exact property extraction in serving",
+}
+
+FAULT_KINDS = ("error", "crash", "delay", "torn")
+
+_DEFAULT_DELAY_SECONDS = 0.05
+_DEFAULT_KEEP_FRACTION = 0.5
+
+
+class InjectedFault(RuntimeError):
+    """Raised by ``error``-kind faults at an armed fault point."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: ``point:kind:nth[:arg]``."""
+
+    point: str
+    kind: str
+    nth: int  # 1-based hit number; EVERY_HIT fires on every matching hit
+    arg: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}")
+        if self.nth < 0:
+            raise ValueError("nth must be >= 1, or 0/'*' for every hit")
+        if self.kind == "delay":
+            self.delay_seconds()  # validate eagerly
+        if self.kind == "torn":
+            self.keep_fraction()
+
+    # -- kind-specific argument views ---------------------------------- #
+    def delay_seconds(self) -> float:
+        if self.arg is None:
+            return _DEFAULT_DELAY_SECONDS
+        value = float(self.arg)
+        if value < 0:
+            raise ValueError("delay seconds must be >= 0")
+        return value
+
+    def keep_fraction(self) -> float:
+        if self.arg is None:
+            return _DEFAULT_KEEP_FRACTION
+        value = float(self.arg)
+        if not 0.0 <= value < 1.0:
+            raise ValueError("torn keep-fraction must be in [0, 1)")
+        return value
+
+    def key_filter(self) -> Optional[str]:
+        """Substring the call-site key must contain (error/crash only)."""
+        if self.kind in ("error", "crash"):
+            return self.arg
+        return None
+
+    def encode(self) -> str:
+        nth = "*" if self.nth == EVERY_HIT else str(self.nth)
+        parts = [self.point, self.kind, nth]
+        if self.arg is not None:
+            parts.append(self.arg)
+        return ":".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        parts = text.strip().split(":")
+        if len(parts) < 3 or len(parts) > 4:
+            raise ValueError(
+                f"bad fault spec {text!r}: expected point:kind:nth[:arg]")
+        point, kind, nth_text = parts[0], parts[1], parts[2]
+        if not point:
+            raise ValueError(f"bad fault spec {text!r}: empty point")
+        if nth_text == "*":
+            nth = EVERY_HIT
+        else:
+            try:
+                nth = int(nth_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {text!r}: nth must be an integer "
+                    f"or '*'") from None
+            if nth < 1:
+                raise ValueError(
+                    f"bad fault spec {text!r}: nth must be >= 1")
+        arg = parts[3] if len(parts) == 4 else None
+        return cls(point=point, kind=kind, nth=nth, arg=arg)
+
+
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` plus a seed.
+
+    The seed deterministically jitters ``delay`` faults (each firing sleeps
+    ``seconds * uniform(0.5, 1.0)`` drawn from a seeded stream) so repeated
+    chaos runs explore slightly different interleavings while staying
+    reproducible for a given seed.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+        logger = get_logger("faults")
+        for spec in self.specs:
+            if spec.point not in FAULT_POINTS:
+                logger.warning("unknown_fault_point", point=spec.point,
+                               spec=spec.encode())
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def encode(self) -> str:
+        """Inverse of :meth:`parse` — suitable for ``REPRO_FAULTS``."""
+        return ",".join(spec.encode() for spec in self.specs)
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        specs = [FaultSpec.parse(part)
+                 for part in text.split(",") if part.strip()]
+        return cls(specs, seed=seed)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None
+                 ) -> Optional["FaultPlan"]:
+        env = os.environ if environ is None else environ
+        text = env.get(ENV_PLAN, "").strip()
+        if not text:
+            return None
+        seed = int(env.get(ENV_PLAN + "_SEED", "0") or "0")
+        return cls.parse(text, seed=seed)
+
+
+def tear(data: bytes, spec: FaultSpec) -> bytes:
+    """Truncate ``data`` to the spec's keep-fraction (at least one byte)."""
+    keep = max(1, int(len(data) * spec.keep_fraction()))
+    return data[:keep]
+
+
+# --------------------------------------------------------------------- #
+# Armed-plan runtime state
+# --------------------------------------------------------------------- #
+class _ArmedPlan:
+    """A plan plus mutable firing state (hit counters, fired specs)."""
+
+    def __init__(self, plan: FaultPlan, state_dir: Optional[str]) -> None:
+        self.plan = plan
+        self.state_dir = state_dir
+        if state_dir is not None:
+            os.makedirs(state_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._hits: Dict[str, int] = {}
+        self._fired: Set[int] = set()
+        self._by_point: Dict[str, List[Tuple[int, FaultSpec]]] = {}
+        for index, spec in enumerate(plan.specs):
+            self._by_point.setdefault(spec.point, []).append((index, spec))
+        self._counter = get_registry().counter(
+            "faults_injected_total",
+            "Injected faults fired, by point and kind",
+            ("point", "kind"))
+        self._logger = get_logger("faults")
+
+    def hits(self, point: str) -> int:
+        with self._lock:
+            return self._hits.get(point, 0)
+
+    def _marker_path(self, index: int) -> Optional[str]:
+        if self.state_dir is None:
+            return None
+        return os.path.join(self.state_dir, f"fired-{index:03d}")
+
+    def _claim_once(self, index: int) -> bool:
+        """Atomically claim a one-shot spec; False if already fired."""
+        if index in self._fired:
+            return False
+        marker = self._marker_path(index)
+        if marker is not None:
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._fired.add(index)
+                return False
+            with os.fdopen(fd, "w") as handle:
+                handle.write(f"pid={os.getpid()} time={time.time():.3f}\n")
+        self._fired.add(index)
+        return True
+
+    def fire(self, point: str, key: str) -> Optional[FaultSpec]:
+        with self._lock:
+            hit = self._hits.get(point, 0) + 1
+            self._hits[point] = hit
+            matched: List[Tuple[int, FaultSpec]] = []
+            for index, spec in self._by_point.get(point, ()):
+                if spec.nth != EVERY_HIT and spec.nth != hit:
+                    continue
+                fltr = spec.key_filter()
+                if fltr is not None and fltr not in key:
+                    continue
+                if spec.nth != EVERY_HIT and not self._claim_once(index):
+                    continue
+                matched.append((index, spec))
+        torn_spec: Optional[FaultSpec] = None
+        for index, spec in matched:
+            self._counter.labels(spec.point, spec.kind).inc()
+            self._logger.warning("fault_injected", point=point,
+                                 kind=spec.kind, hit=hit, key=key,
+                                 spec=spec.encode())
+            add_event("fault.injected", {"point": point, "kind": spec.kind,
+                                         "hit": hit, "key": key})
+            if spec.kind == "delay":
+                time.sleep(self._jittered_delay(spec, index, hit))
+            elif spec.kind == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            elif spec.kind == "error":
+                raise InjectedFault(
+                    f"injected fault at {point!r} (hit {hit}, "
+                    f"spec {spec.encode()!r})")
+            elif spec.kind == "torn" and torn_spec is None:
+                torn_spec = spec
+        return torn_spec
+
+    def _jittered_delay(self, spec: FaultSpec, index: int, hit: int) -> float:
+        import random
+
+        rng = random.Random(f"{self.plan.seed}:{index}:{hit}")
+        return spec.delay_seconds() * (0.5 + 0.5 * rng.random())
+
+
+_armed: Optional[_ArmedPlan] = None
+_env_checked = False
+_install_lock = threading.Lock()
+
+
+def install_plan(plan: FaultPlan, state_dir: Optional[str] = None) -> None:
+    """Arm ``plan`` process-wide (replacing any previously armed plan)."""
+    global _armed, _env_checked
+    with _install_lock:
+        _armed = _ArmedPlan(plan, state_dir)
+        _env_checked = True
+
+
+def clear_plan() -> None:
+    """Disarm fault injection (also stops re-arming from the environment)."""
+    global _armed, _env_checked
+    with _install_lock:
+        _armed = None
+        _env_checked = True
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed plan, lazily loading ``REPRO_FAULTS`` on first call."""
+    armed = _active()
+    return None if armed is None else armed.plan
+
+
+def active_state_dir() -> Optional[str]:
+    """State directory of the armed plan (once-markers), if any."""
+    armed = _active()
+    return None if armed is None else armed.state_dir
+
+
+def _active() -> Optional[_ArmedPlan]:
+    global _armed, _env_checked
+    if _armed is not None or _env_checked:
+        return _armed
+    with _install_lock:
+        if not _env_checked:
+            _env_checked = True
+            plan = FaultPlan.from_env()
+            if plan:
+                _armed = _ArmedPlan(plan, os.environ.get(ENV_STATE) or None)
+    return _armed
+
+
+def fire(point: str, key: str = "") -> Optional[FaultSpec]:
+    """Hit fault point ``point``; a no-op unless a plan arms it.
+
+    ``key`` is free-form call-site context (task kind, artifact key, …)
+    matched against ``error``/``crash`` spec filters.  ``error`` raises
+    :class:`InjectedFault`, ``crash`` exits the process, ``delay`` sleeps
+    in-line; a matched ``torn`` spec is *returned* so the caller can
+    truncate its own write via :func:`tear` — any other outcome returns
+    ``None``.
+    """
+    armed = _active()
+    if armed is None:
+        return None
+    return armed.fire(point, key)

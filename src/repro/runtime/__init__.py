@@ -37,9 +37,11 @@ from .backends import (
     InlineBackend,
     ProcessPoolBackend,
     TaskEnvelope,
+    TaskFailure,
     WorkerPoolBackend,
     run_worker,
 )
+from .journal import CheckpointJournal
 from .executor import (
     BACKEND_NAMES,
     ProfileExecutor,
@@ -71,6 +73,8 @@ __all__ = [
     "InlineBackend",
     "ProcessPoolBackend",
     "TaskEnvelope",
+    "TaskFailure",
+    "CheckpointJournal",
     "WorkerPoolBackend",
     "run_worker",
     "BACKEND_NAMES",

@@ -20,7 +20,8 @@ import pickle
 import tempfile
 from typing import Any, Dict, Optional, Tuple
 
-from ..obs import get_registry
+from ..faults import fire, tear
+from ..obs import get_logger, get_registry
 
 __all__ = ["ArtifactStore"]
 
@@ -78,6 +79,10 @@ class ArtifactStore:
         self._misses_counter = registry.counter(
             "artifact_store_misses_total",
             "Artifact store lookups that required recomputation")
+        self._corrupt_counter = registry.counter(
+            "artifact_store_corrupt_total",
+            "Corrupt/truncated artifact files deleted and treated as misses")
+        self._logger = get_logger("runtime.artifacts")
 
     # ------------------------------------------------------------------ #
     def path_for(self, key: ArtifactKey) -> Optional[str]:
@@ -104,9 +109,12 @@ class ArtifactStore:
             try:
                 with open(path, "rb") as handle:
                     value = pickle.load(handle)
-            except Exception:
+            except Exception as error:
                 # A truncated artifact (e.g. interrupted writer on a
-                # filesystem without atomic rename) is treated as absent.
+                # filesystem without atomic rename, or a torn write) is
+                # treated as absent — and deleted, so ``__contains__`` and
+                # lazy restores stop seeing a file that cannot be loaded.
+                self._discard_corrupt(path, key, error)
                 self.misses += 1
                 self._misses_counter.inc()
                 return None
@@ -123,18 +131,59 @@ class ArtifactStore:
         self._misses_counter.inc()
         return None
 
+    def verify(self, key: ArtifactKey) -> bool:
+        """True if ``key`` is present *and loadable*.
+
+        Unlike ``key in store`` this fully loads a disk-backed pickle, so a
+        truncated or torn file is detected (and deleted) up front instead
+        of surfacing as a mid-run "artifact vanished" error.  Transient
+        kinds are deliberately not retained in memory by the check.
+        """
+        if key in self._memory:
+            return True
+        path = self.path_for(key)
+        if path is None or not os.path.exists(path):
+            return False
+        try:
+            with open(path, "rb") as handle:
+                pickle.load(handle)
+        except Exception as error:
+            self._discard_corrupt(path, key, error)
+            return False
+        return True
+
+    def _discard_corrupt(self, path: str, key: ArtifactKey,
+                         error: Exception) -> None:
+        self._corrupt_counter.inc()
+        # Mirror GraphStoreError's phrasing: name the file, the failure
+        # and the consequence.
+        self._logger.warning(
+            "artifact_corrupt_discarded", path=path, key=repr(key),
+            error=f"{type(error).__name__}: {error}",
+            consequence="treated as a cache miss and recomputed")
+        self._remove(path)
+
     def put(self, key: ArtifactKey, value: Any) -> Any:
         """Store ``value`` under ``key`` (memory and, if configured, disk)."""
         if not self._is_transient(key):
             self._memory[key] = value
         path = self.path_for(key)
         if path is not None:
+            torn = fire("artifact.write", key=repr(key))
             directory = os.path.dirname(path)
             os.makedirs(directory, exist_ok=True)
             fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(value, handle)
+                if torn is not None:
+                    # Injected torn write: land a truncated file under the
+                    # final name, as a crash between write and rename on a
+                    # non-atomic filesystem would.
+                    with open(temp_path, "rb") as handle:
+                        data = handle.read()
+                    with open(temp_path, "wb") as handle:
+                        handle.write(tear(data, torn))
                 os.replace(temp_path, path)
             except BaseException:
                 if os.path.exists(temp_path):

@@ -8,10 +8,18 @@ contract is deliberately small:
     :class:`Graph` objects of the tasks that will be submitted.
 ``submit(envelope)``
     Accept one :class:`TaskEnvelope` (task + shipped input payloads).
-``next_completed()``
+``next_completed(timeout=None)``
     Block until any submitted envelope finishes; return
-    ``(task_id, payload)``.  Completion order is unconstrained — the
-    deterministic merge happens downstream.
+    ``(task_id, payload)``.  A failed execution attempt is a *completion
+    too*: its payload is a :class:`TaskFailure` carrying the error and
+    traceback — the scheduler, not the backend, decides between retry and
+    quarantine.  With a ``timeout``, return ``None`` once it elapses with
+    nothing completed (the scheduler uses this for retry backoff wake-ups
+    and per-kind execution deadlines).  Completion order is unconstrained
+    — the deterministic merge happens downstream.
+``discard(task_id)``
+    Forget an outstanding task (quarantined by the scheduler); a late
+    completion of it must not be returned.
 ``close()``
     Release workers.
 
@@ -36,28 +44,55 @@ Three implementations:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
+import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
+import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..faults import FaultPlan, active_plan, active_state_dir, fire, \
+    install_plan, tear
 from ..graph import Graph
+from ..obs import add_event, get_logger, get_registry
 from .artifacts import ArtifactStore
 from .tasks import TaskId, execute_task
 
 __all__ = [
     "TaskEnvelope",
+    "TaskFailure",
     "ExecutorBackend",
     "InlineBackend",
     "ProcessPoolBackend",
     "WorkerPoolBackend",
     "run_worker",
 ]
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A failed execution attempt, returned as a completion payload.
+
+    Backends report failures instead of raising so the scheduler can apply
+    the :class:`~repro.faults.FailurePolicy` — retry with backoff, then
+    quarantine — uniformly across inline, process-pool and worker-queue
+    execution.  ``deadline`` marks driver-side deadline expiries (the task
+    may still be running; a late genuine completion is accepted).
+    """
+
+    error: str
+    traceback: str = ""
+    deadline: bool = False
+
+    def __str__(self) -> str:
+        return self.error
 
 
 @dataclass(frozen=True)
@@ -88,8 +123,12 @@ class ExecutorBackend:
     def submit(self, envelope: TaskEnvelope) -> None:
         raise NotImplementedError
 
-    def next_completed(self) -> Tuple[TaskId, Any]:
+    def next_completed(self, timeout: Optional[float] = None
+                       ) -> Optional[Tuple[TaskId, Any]]:
         raise NotImplementedError
+
+    def discard(self, task_id: TaskId) -> None:
+        """Forget an outstanding (quarantined) task; default no-op."""
 
     def close(self) -> None:
         raise NotImplementedError
@@ -120,11 +159,16 @@ class InlineBackend(ExecutorBackend):
 
     def submit(self, envelope):
         graph = self._graphs[envelope.graph_fingerprint]
-        payload = execute_task(envelope.task, graph, self._store,
-                               envelope.inputs, trace=envelope.trace)
+        try:
+            payload = execute_task(envelope.task, graph, self._store,
+                                   envelope.inputs, trace=envelope.trace)
+        except Exception as error:
+            payload = TaskFailure(
+                error=f"{type(error).__name__}: {error}",
+                traceback=traceback_module.format_exc())
         self._completed.append((envelope.task_id, payload))
 
-    def next_completed(self):
+    def next_completed(self, timeout=None):
         if not self._completed:
             raise RuntimeError("no submitted task is pending")
         return self._completed.pop(0)
@@ -200,8 +244,13 @@ def _init_pool_worker(graph_arrays: Dict[str, Tuple],
 
 def _pool_run_envelope(envelope: TaskEnvelope) -> Tuple[TaskId, Any]:
     graph = _WORKER_GRAPHS[envelope.graph_fingerprint]
-    payload = execute_task(envelope.task, graph, _WORKER_STORE,
-                           envelope.inputs, trace=envelope.trace)
+    try:
+        payload = execute_task(envelope.task, graph, _WORKER_STORE,
+                               envelope.inputs, trace=envelope.trace)
+    except Exception as error:
+        payload = TaskFailure(
+            error=f"{type(error).__name__}: {error}",
+            traceback=traceback_module.format_exc())
     return envelope.task_id, payload
 
 
@@ -228,13 +277,15 @@ class ProcessPoolBackend(ExecutorBackend):
     def submit(self, envelope):
         self._pending.add(self._pool.submit(_pool_run_envelope, envelope))
 
-    def next_completed(self):
+    def next_completed(self, timeout=None):
         if self._done_buffer:
             return self._done_buffer.pop(0)
         if not self._pending:
             raise RuntimeError("no submitted task is pending")
-        done, self._pending = wait(self._pending,
+        done, self._pending = wait(self._pending, timeout=timeout,
                                    return_when=FIRST_COMPLETED)
+        if not done:
+            return None
         for future in done:
             self._done_buffer.append(future.result())
         return self._done_buffer.pop(0)
@@ -250,9 +301,10 @@ class ProcessPoolBackend(ExecutorBackend):
 # --------------------------------------------------------------------------- #
 # Directory-queue worker pool
 # --------------------------------------------------------------------------- #
-_QUEUE_SUBDIRS = ("tasks", "claimed", "results", "graphs")
+_QUEUE_SUBDIRS = ("tasks", "claimed", "results", "graphs", "heartbeats")
 _STOP_SENTINEL = "stop"
 _CONFIG_FILE = "config.pkl"
+_OWNER_SUFFIX = ".owner"
 
 
 def _task_filename(task_id: TaskId) -> str:
@@ -320,19 +372,41 @@ class WorkerPoolBackend(ExecutorBackend):
 
     def __init__(self, queue_dir: str, spawn_workers: int = 0,
                  poll_interval: float = 0.02,
-                 stale_claim_timeout: float = 120.0) -> None:
+                 stale_claim_timeout: float = 120.0,
+                 heartbeat_timeout: float = 10.0,
+                 max_respawns: Optional[int] = None) -> None:
         if spawn_workers < 0:
             raise ValueError("spawn_workers must be >= 0")
         if stale_claim_timeout <= 0:
             raise ValueError("stale_claim_timeout must be > 0")
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be > 0")
+        if max_respawns is not None and max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
         self.queue_dir = queue_dir
         self.spawn_workers = spawn_workers
         self.poll_interval = poll_interval
         self.stale_claim_timeout = stale_claim_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        #: Crashed spawned workers are replaced up to this many times per
+        #: run (an injected-crash plan must not strand the queue, but a
+        #: deterministic crash loop must not respawn forever either).
+        self.max_respawns = (2 * spawn_workers if max_respawns is None
+                             else max_respawns)
         self._processes: List[subprocess.Popen] = []
         self._stderr_logs: List[str] = []
         self._outstanding: set = set()
+        #: Outstanding envelopes by task id, kept for resubmission when a
+        #: result file turns out torn (the claim is already gone by then,
+        #: so the stale sweep cannot bring the task back).
+        self._envelopes: Dict[TaskId, TaskEnvelope] = {}
+        #: First time a result file failed to load, by file name; a file
+        #: corrupt for longer than the ack-retry window is a torn ack.
+        self._corrupt_results: Dict[str, float] = {}
+        self._respawns_used = 0
+        self._spawn_index = 0
         self._last_stale_sweep = 0.0
+        self._logger = get_logger("runtime.queue")
 
     # ------------------------------------------------------------------ #
     def _path(self, *parts: str) -> str:
@@ -352,16 +426,30 @@ class WorkerPoolBackend(ExecutorBackend):
                                ("results", ".result")):
             directory = self._path(subdir)
             for name in os.listdir(directory):
-                if name.endswith(suffix) or name.endswith(".tmp"):
+                if (name.endswith(suffix) or name.endswith(".tmp")
+                        or name.endswith(_OWNER_SUFFIX)):
                     _remove_quietly(os.path.join(directory, name))
-        _atomic_write(self._path(_CONFIG_FILE), {"cache_dir": cache_dir})
+        config: Dict[str, Any] = {"cache_dir": cache_dir}
+        plan = active_plan()
+        if plan:
+            # Ship the armed fault plan to every worker (spawned or
+            # external) with a shared once-marker directory, so a one-shot
+            # crash spec fires in exactly one worker process instead of
+            # killing each respawn in turn.
+            state_dir = active_state_dir() or self._path("faults-state")
+            os.makedirs(state_dir, exist_ok=True)
+            config["faults"] = plan.encode()
+            config["faults_seed"] = plan.seed
+            config["faults_state"] = state_dir
+        _atomic_write(self._path(_CONFIG_FILE), config)
         for fingerprint, graph in graphs.items():
             path = self._path("graphs", f"{fingerprint}.pkl")
             if not os.path.exists(path):
                 _atomic_write(path, _graph_to_arrays(graph))
         self._last_stale_sweep = time.time()
-        for index in range(self.spawn_workers):
-            self._processes.append(self._spawn_worker(index))
+        for _ in range(self.spawn_workers):
+            self._processes.append(self._spawn_worker(self._spawn_index))
+            self._spawn_index += 1
 
     def _spawn_worker(self, index: int) -> subprocess.Popen:
         import repro
@@ -386,11 +474,19 @@ class WorkerPoolBackend(ExecutorBackend):
         _atomic_write(self._path("tasks", _task_filename(envelope.task_id)),
                       envelope)
         self._outstanding.add(envelope.task_id)
+        self._envelopes[envelope.task_id] = envelope
 
-    def next_completed(self):
+    def discard(self, task_id):
+        """Forget a quarantined task: drop its spool file and late acks."""
+        self._outstanding.discard(task_id)
+        self._envelopes.pop(task_id, None)
+        _remove_quietly(self._path("tasks", _task_filename(task_id)))
+
+    def next_completed(self, timeout=None):
         if not self._outstanding:
             raise RuntimeError("no submitted task is pending")
         results_dir = self._path("results")
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             for name in sorted(os.listdir(results_dir)):
                 if not name.endswith(".result"):
@@ -400,20 +496,61 @@ class WorkerPoolBackend(ExecutorBackend):
                     with open(path, "rb") as handle:
                         result = pickle.load(handle)
                 except (OSError, pickle.UnpicklingError, EOFError):
-                    continue  # another collector won, or mid-write
+                    # Another collector won, the ack is mid-write — or it
+                    # is torn (worker crashed / fault injected between
+                    # write and claim removal).  Give a mid-write ack one
+                    # ack-retry window to become readable, then drop it
+                    # and respool the task from the retained envelope.
+                    self._note_corrupt_result(name, path)
+                    continue
+                self._corrupt_results.pop(name, None)
                 _remove_quietly(path)
                 task_id = result.get("task_id")
                 if task_id not in self._outstanding:
                     continue  # duplicate or foreign ack
-                if not result.get("ok", False):
-                    raise RuntimeError(
-                        f"worker failed on task {task_id!r}: "
-                        f"{result.get('error')}")
                 self._outstanding.discard(task_id)
+                self._envelopes.pop(task_id, None)
+                if not result.get("ok", False):
+                    return task_id, TaskFailure(
+                        error=f"worker failed on task {task_id!r}: "
+                              f"{result.get('error')}",
+                        traceback=result.get("traceback", ""))
                 return task_id, result["payload"]
             self._check_spawned_workers()
             self._sweep_stale_claims()
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
             time.sleep(self.poll_interval)
+
+    def _note_corrupt_result(self, name: str, path: str) -> None:
+        """Track an unreadable result file; respool its task if it stays
+        unreadable past the ack-retry window (a torn ack: the worker's
+        claim is already deleted, so no stale sweep will ever retry it)."""
+        now = time.monotonic()
+        first_seen = self._corrupt_results.setdefault(name, now)
+        window = max(1.0, min(self.stale_claim_timeout, 5.0))
+        if now - first_seen < window:
+            return
+        self._corrupt_results.pop(name, None)
+        task_id = None
+        stem = name[:-len(".result")]
+        for candidate in self._outstanding:
+            if _task_filename(candidate).startswith(stem):
+                task_id = candidate
+                break
+        _remove_quietly(path)
+        if task_id is None:
+            return  # foreign leftover; removing it is enough
+        envelope = self._envelopes.get(task_id)
+        if envelope is None:
+            return
+        get_registry().counter(
+            "runtime_torn_acks_total",
+            "Unreadable result files replaced by task resubmission").inc()
+        self._logger.warning("torn_ack_respooled", task_id=repr(task_id),
+                             result_file=name)
+        add_event("queue.torn_ack", {"task_id": repr(task_id)})
+        _atomic_write(self._path("tasks", _task_filename(task_id)), envelope)
 
     def _sweep_stale_claims(self) -> None:
         """Requeue claims of crashed workers while the driver waits.
@@ -431,10 +568,36 @@ class WorkerPoolBackend(ExecutorBackend):
         self.requeue_stale(self.stale_claim_timeout)
 
     def _check_spawned_workers(self) -> None:
-        """Fail fast instead of polling forever when every spawned worker
-        died (external workers may still exist when spawn_workers == 0)."""
+        """Replace crashed spawned workers (bounded), fail when stranded.
+
+        A dead spawned worker is respawned while the respawn budget lasts
+        (shared fault-plan once-markers keep an injected one-shot crash
+        from re-firing in the replacement).  Once the budget is exhausted
+        and *every* spawned worker is dead, fail fast instead of polling
+        forever (external workers may still exist when
+        ``spawn_workers == 0``)."""
         if not self._processes:
             return
+        for slot, process in enumerate(self._processes):
+            if process.poll() is None:
+                continue
+            if self._respawns_used >= self.max_respawns:
+                continue
+            self._respawns_used += 1
+            replacement = self._spawn_worker(self._spawn_index)
+            self._spawn_index += 1
+            self._processes[slot] = replacement
+            get_registry().counter(
+                "runtime_worker_respawns_total",
+                "Crashed spawned queue workers replaced by the driver") \
+                .inc()
+            self._logger.warning("worker_respawned",
+                                 exit_code=process.returncode,
+                                 respawns_used=self._respawns_used,
+                                 max_respawns=self.max_respawns)
+            add_event("queue.worker_respawned",
+                      {"exit_code": process.returncode,
+                       "respawns_used": self._respawns_used})
         if any(process.poll() is None for process in self._processes):
             return
         stderr_tail = ""
@@ -450,35 +613,81 @@ class WorkerPoolBackend(ExecutorBackend):
                            f"{len(self._outstanding)} tasks are "
                            f"outstanding; last stderr: {stderr_tail}")
 
+    def _owner_heartbeat_fresh(self, claim_path: str, now: float) -> bool:
+        """True if the claim's owning worker heartbeated recently.
+
+        Workers leave a ``<claim>.owner`` sidecar naming their pid and
+        refresh ``heartbeats/<pid>.hb`` (plus the claim mtime) on every
+        heartbeat.  A fresh heartbeat vetoes the requeue however old the
+        claim is: the worker is alive, merely slow, and requeueing would
+        double-execute the task."""
+        owner_path = claim_path + _OWNER_SUFFIX
+        try:
+            with open(owner_path, "r") as handle:
+                pid = handle.read().strip()
+        except OSError:
+            return False
+        if not pid:
+            return False
+        heartbeat_path = self._path("heartbeats", f"{pid}.hb")
+        try:
+            age = now - os.path.getmtime(heartbeat_path)
+        except OSError:
+            return False
+        return age < self.heartbeat_timeout
+
     def requeue_stale(self, max_age_seconds: float = 0.0) -> int:
-        """Return claims older than ``max_age_seconds`` to the task queue."""
+        """Return claims older than ``max_age_seconds`` to the task queue.
+
+        Claims whose owner has a fresh heartbeat file are skipped — a
+        live-but-slow worker keeps its claim (see
+        :meth:`_owner_heartbeat_fresh`); only claims of silent (crashed or
+        partitioned-away) workers are requeued."""
         claimed_dir = self._path("claimed")
         requeued = 0
+        vetoed = 0
         now = time.time()
         for name in sorted(os.listdir(claimed_dir)):
+            if not name.endswith(".task"):
+                continue
             path = os.path.join(claimed_dir, name)
             try:
                 age = now - os.path.getmtime(path)
             except OSError:
                 continue
-            if age >= max_age_seconds:
-                try:
-                    os.rename(path, self._path("tasks", name))
-                    requeued += 1
-                except OSError:
-                    continue
+            if age < max_age_seconds:
+                continue
+            if self._owner_heartbeat_fresh(path, now):
+                vetoed += 1
+                continue
+            try:
+                os.rename(path, self._path("tasks", name))
+                requeued += 1
+            except OSError:
+                continue
+            _remove_quietly(path + _OWNER_SUFFIX)
         if requeued:
-            from ..obs import add_event, get_registry
-
             get_registry().counter(
                 "runtime_requeued_tasks_total",
                 "Stale claims of crashed workers returned to the queue") \
                 .inc(requeued)
             add_event("requeue_stale", {"requeued": requeued,
+                                        "heartbeat_vetoes": vetoed,
                                         "max_age_seconds": max_age_seconds})
+        if vetoed:
+            get_registry().counter(
+                "runtime_requeue_heartbeat_vetoes_total",
+                "Stale-claim requeues vetoed by a fresh worker heartbeat") \
+                .inc(vetoed)
         return requeued
 
     def close(self):
+        """Stop workers: sentinel first, then SIGTERM (graceful), then kill.
+
+        The stop sentinel lets idle workers exit on their own; a worker
+        still executing gets SIGTERM, which its graceful path turns into
+        "finish the in-flight task, final heartbeat, exit 0" — only a
+        worker ignoring that for another grace period is killed."""
         try:
             _atomic_write(self._path(_STOP_SENTINEL), b"stop")
         except OSError:
@@ -486,18 +695,36 @@ class WorkerPoolBackend(ExecutorBackend):
         for process in self._processes:
             try:
                 process.wait(timeout=10)
+                continue
             except subprocess.TimeoutExpired:
-                process.terminate()
+                pass
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+                continue
+            except subprocess.TimeoutExpired:
+                pass
+            process.kill()
+            try:
                 process.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
         self._processes = []
         self._outstanding = set()
+        self._envelopes = {}
+        self._corrupt_results = {}
 
 
 # --------------------------------------------------------------------------- #
 # Worker loop (the ``repro worker`` CLI)
 # --------------------------------------------------------------------------- #
 def _claim_next(queue_dir: str) -> Optional[str]:
-    """Claim one spooled task by atomic rename; return the claimed path."""
+    """Claim one spooled task by atomic rename; return the claimed path.
+
+    The winning worker leaves a ``<claim>.owner`` sidecar naming its pid
+    so the driver's stale sweep can consult the worker's heartbeat file
+    before requeueing the claim.
+    """
     tasks_dir = os.path.join(queue_dir, "tasks")
     claimed_dir = os.path.join(queue_dir, "claimed")
     try:
@@ -507,12 +734,18 @@ def _claim_next(queue_dir: str) -> Optional[str]:
     for name in names:
         if not name.endswith(".task"):
             continue
+        fire("queue.claim", key=name)
         source = os.path.join(tasks_dir, name)
         target = os.path.join(claimed_dir, name)
         try:
             os.rename(source, target)
         except OSError:
             continue  # another worker won the race
+        try:
+            with open(target + _OWNER_SUFFIX, "w") as handle:
+                handle.write(str(os.getpid()))
+        except OSError:
+            pass  # heartbeat veto degrades to mtime-only staleness
         return target
     return None
 
@@ -534,40 +767,164 @@ def _execute_claim(claimed_path: str, queue_dir: str,
         payload = execute_task(envelope.task, graph, store, envelope.inputs,
                                trace=getattr(envelope, "trace", None))
         result = {"task_id": envelope.task_id, "ok": True, "payload": payload}
-    except BaseException as error:  # ack the failure; the backend raises
+    except Exception as error:  # ack the failure; the scheduler retries
         result = {"task_id": envelope.task_id, "ok": False,
-                  "error": f"{type(error).__name__}: {error}"}
+                  "error": f"{type(error).__name__}: {error}",
+                  "traceback": traceback_module.format_exc()}
     name = os.path.basename(claimed_path)[:-len(".task")] + ".result"
-    _atomic_write(os.path.join(queue_dir, "results", name), result)
+    result_path = os.path.join(queue_dir, "results", name)
+    torn = fire("queue.ack", key=name)
+    _atomic_write(result_path, result)
+    if torn is not None:
+        # Injected torn ack: truncate the already-renamed result file, as
+        # a worker crash mid-ack on a non-atomic filesystem would leave it.
+        with open(result_path, "rb") as handle:
+            data = handle.read()
+        with open(result_path, "wb") as handle:
+            handle.write(tear(data, torn))
     os.remove(claimed_path)
+    _remove_quietly(claimed_path + _OWNER_SUFFIX)
+
+
+class _WorkerHeartbeat:
+    """Background heartbeat of one queue worker.
+
+    Every interval it rewrites ``heartbeats/<pid>.hb`` (freshness is the
+    file mtime; the JSON body aids debugging) and touches the worker's
+    current claim so both the heartbeat veto and the plain mtime-staleness
+    check see a live worker.  ``beat_now`` forces a final beat — the
+    graceful-shutdown marker.
+    """
+
+    def __init__(self, queue_dir: str, interval: float) -> None:
+        self.interval = interval
+        self.path = os.path.join(queue_dir, "heartbeats",
+                                 f"{os.getpid()}.hb")
+        self.current_claim: Optional[str] = None
+        self.processed = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="worker-heartbeat")
+
+    def start(self) -> None:
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        self.beat_now()
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.beat_now()
+
+    def beat_now(self, stopping: bool = False) -> None:
+        try:
+            payload = json.dumps({"pid": os.getpid(), "time": time.time(),
+                                  "processed": self.processed,
+                                  "claim": self.current_claim,
+                                  "stopping": stopping})
+            temp_path = self.path + ".tmp"
+            with open(temp_path, "w") as handle:
+                handle.write(payload)
+            os.replace(temp_path, self.path)
+        except OSError:
+            return
+        claim = self.current_claim
+        if claim is not None:
+            try:
+                os.utime(claim)
+            except OSError:
+                pass
+
+    def stop(self, stopping: bool = True) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self.beat_now(stopping=stopping)
 
 
 def run_worker(queue_dir: str, poll_interval: float = 0.05,
                max_tasks: Optional[int] = None,
-               stop_when_idle: bool = False) -> int:
+               stop_when_idle: bool = False,
+               heartbeat_interval: float = 1.0) -> int:
     """Claim-execute-ack loop of one queue worker; returns tasks processed.
 
     The worker exits when the queue's ``stop`` sentinel appears and no task
     is claimable, after ``max_tasks`` tasks, or — with ``stop_when_idle`` —
     as soon as the queue is momentarily empty (drain mode).
+
+    While running it maintains a heartbeat file (and refreshes its current
+    claim's mtime) every ``heartbeat_interval`` seconds, so the driver's
+    stale sweep can tell live-but-slow from dead.  SIGTERM is graceful:
+    the in-flight task is finished and acked, a final heartbeat marks the
+    shutdown, and the worker exits cleanly — no claim is orphaned.
+
+    A fault plan shipped in the queue's ``config.pkl`` (or the
+    ``REPRO_FAULTS`` environment) is armed before the first claim.
     """
     config_path = os.path.join(queue_dir, _CONFIG_FILE)
     cache_dir = None
+    config: Dict[str, Any] = {}
     if os.path.exists(config_path):
         with open(config_path, "rb") as handle:
-            cache_dir = pickle.load(handle).get("cache_dir")
+            config = pickle.load(handle)
+        cache_dir = config.get("cache_dir")
+    if config.get("faults"):
+        install_plan(FaultPlan.parse(config["faults"],
+                                     seed=config.get("faults_seed", 0)),
+                     state_dir=config.get("faults_state"))
     store = ArtifactStore(cache_dir)
     graphs: Dict[str, Graph] = {}
+    logger = get_logger("runtime.worker")
+    stop_requested = threading.Event()
+
+    def _handle_sigterm(signum, frame):  # pragma: no cover - signal path
+        stop_requested.set()
+
+    try:
+        previous_handler = signal.signal(signal.SIGTERM, _handle_sigterm)
+    except ValueError:  # not the main thread (embedded use)
+        previous_handler = None
+
+    heartbeat = _WorkerHeartbeat(queue_dir, heartbeat_interval)
+    heartbeat.start()
     processed = 0
-    while max_tasks is None or processed < max_tasks:
-        claimed = _claim_next(queue_dir)
-        if claimed is None:
-            if stop_when_idle:
+    try:
+        while max_tasks is None or processed < max_tasks:
+            if stop_requested.is_set():
+                logger.info("worker_sigterm_drain", processed=processed)
                 break
-            if os.path.exists(os.path.join(queue_dir, _STOP_SENTINEL)):
-                break
-            time.sleep(poll_interval)
-            continue
-        _execute_claim(claimed, queue_dir, graphs, store)
-        processed += 1
+            try:
+                claimed = _claim_next(queue_dir)
+            except Exception as error:
+                # A failing claim (filesystem hiccup, injected fault) is
+                # transient: no task was taken, so just back off and retry.
+                logger.warning("worker_claim_error",
+                               error=f"{type(error).__name__}: {error}")
+                time.sleep(poll_interval)
+                continue
+            if claimed is None:
+                if stop_when_idle:
+                    break
+                if os.path.exists(os.path.join(queue_dir, _STOP_SENTINEL)):
+                    break
+                time.sleep(poll_interval)
+                continue
+            heartbeat.current_claim = claimed
+            try:
+                _execute_claim(claimed, queue_dir, graphs, store)
+                processed += 1
+                heartbeat.processed = processed
+            except Exception as error:
+                # The ack itself failed; the claim file stays behind and
+                # the driver's stale sweep will requeue the task.
+                logger.warning("worker_ack_error", claim=claimed,
+                               error=f"{type(error).__name__}: {error}")
+                time.sleep(poll_interval)
+            finally:
+                heartbeat.current_claim = None
+    finally:
+        heartbeat.stop(stopping=True)
+        if previous_handler is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_handler)
+            except ValueError:  # pragma: no cover
+                pass
     return processed

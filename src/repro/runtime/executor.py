@@ -36,12 +36,12 @@ recompute).
 from __future__ import annotations
 
 import os
-import pickle
 import shutil
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..faults import FailurePolicy, QuarantineError
 from ..obs import span
 from .artifacts import ArtifactStore
 from .backends import (
@@ -51,11 +51,14 @@ from .backends import (
     WorkerPoolBackend,
 )
 from .jobs import ProfilePlan
+from .journal import CheckpointJournal
 from .scheduler import (
     DISPOSITION_CACHE,
     DISPOSITION_CHECKPOINT,
     DISPOSITION_EXECUTED,
     DISPOSITION_PRUNED,
+    DISPOSITION_QUARANTINED,
+    DISPOSITION_SKIPPED,
     Scheduler,
     build_task_graph,
 )
@@ -78,8 +81,11 @@ AVERAGE_ITERATION_ALGORITHMS = frozenset(
 #: process pool otherwise).
 BACKEND_NAMES = ("auto", "inline", "process", "worker")
 
-#: Version 2: checkpoints are keyed by task ids instead of work units.
-_CHECKPOINT_VERSION = 2
+#: Version history: 2 keyed checkpoints by task ids instead of work units;
+#: 3 replaced the whole-dict pickle with the append-only, per-frame
+#: checksummed journal of :mod:`repro.runtime.journal` (version-2 files
+#: still load).
+_CHECKPOINT_VERSION = 3
 
 
 # --------------------------------------------------------------------------- #
@@ -115,6 +121,14 @@ class ProfileRunStats:
     cache_hit_tasks: int = 0
     checkpoint_tasks: int = 0
     backend: str = ""
+    #: Failure-policy accounting: resubmitted attempts, deadline expiries,
+    #: and the quarantine records (dicts with last tracebacks) of tasks
+    #: that exhausted their retry budget.
+    retried_tasks: int = 0
+    deadline_failures: int = 0
+    quarantined_tasks: int = 0
+    skipped_tasks: int = 0
+    quarantines: List[Dict[str, Any]] = field(default_factory=list)
 
     def cache_hit_rate(self) -> float:
         """Fraction of work units fully served by the artifact cache."""
@@ -140,6 +154,11 @@ class ProfileRunStats:
             "cache_hit_tasks": self.cache_hit_tasks,
             "checkpoint_tasks": self.checkpoint_tasks,
             "backend": self.backend,
+            "retried_tasks": self.retried_tasks,
+            "deadline_failures": self.deadline_failures,
+            "quarantined_tasks": self.quarantined_tasks,
+            "skipped_tasks": self.skipped_tasks,
+            "quarantines": list(self.quarantines),
         }
 
 
@@ -147,40 +166,25 @@ class ProfileRunStats:
 # Checkpoints
 # --------------------------------------------------------------------------- #
 def save_checkpoint(path: str, payloads: Dict[Any, Any]) -> None:
-    """Atomically persist completed task payloads for later resumption."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump({"format_version": _CHECKPOINT_VERSION,
-                         "kind": "profile_checkpoint",
-                         "payloads": payloads}, handle)
-        os.replace(temp_path, path)
-    except BaseException:
-        if os.path.exists(temp_path):
-            os.remove(temp_path)
-        raise
+    """Atomically persist completed task payloads for later resumption.
+
+    Writes the version-3 journal format (length-prefixed, checksummed
+    frames); incremental runs append frames instead via
+    :class:`~repro.runtime.journal.CheckpointJournal`.
+    """
+    CheckpointJournal(path).rewrite(payloads)
 
 
 def load_checkpoint(path: str) -> Dict[Any, Any]:
     """Load a checkpoint written by :func:`save_checkpoint` (or ``{}``).
 
-    Unreadable files and other format versions (e.g. the unit-granular
-    checkpoints of PR 1) are ignored, not errors.
+    Journal files with a torn tail (crash or injected fault mid-append)
+    are repaired in place, keeping every intact frame.  Legacy version-2
+    whole-pickle checkpoints load transparently; unreadable files and
+    other formats (e.g. the unit-granular checkpoints of PR 1) are
+    ignored, not errors.
     """
-    if not os.path.exists(path):
-        return {}
-    try:
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-    except Exception:
-        return {}
-    if (not isinstance(payload, dict)
-            or payload.get("kind") != "profile_checkpoint"
-            or payload.get("format_version") != _CHECKPOINT_VERSION):
-        return {}
-    return dict(payload.get("payloads", {}))
+    return CheckpointJournal(path).load()
 
 
 # --------------------------------------------------------------------------- #
@@ -220,6 +224,13 @@ class ProfileExecutor:
         Wall-clock partitioning-time measurements per combination; the mean
         and standard deviation land on the dataset record.  Ignored in
         ``model`` mode, which is deterministic.
+    policy:
+        :class:`~repro.faults.FailurePolicy` governing retries, backoff,
+        quarantine, per-kind deadlines and worker heartbeats.  ``None``
+        uses the defaults (3 attempts, no deadlines).  A run that
+        quarantined tasks raises :class:`~repro.faults.QuarantineError`
+        (with the run stats attached) instead of returning a silently
+        partial result.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
@@ -228,7 +239,8 @@ class ProfileExecutor:
                  backend: Union[None, str, ExecutorBackend] = None,
                  queue_dir: Optional[str] = None,
                  granularity: str = "task",
-                 time_repeats: int = 1) -> None:
+                 time_repeats: int = 1,
+                 policy: Optional[FailurePolicy] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if checkpoint_every < 1:
@@ -248,6 +260,7 @@ class ProfileExecutor:
         self.queue_dir = queue_dir
         self.granularity = granularity
         self.time_repeats = time_repeats
+        self.policy = policy if policy is not None else FailurePolicy()
 
     # ------------------------------------------------------------------ #
     def _make_backend(self) -> Tuple[ExecutorBackend, Optional[str]]:
@@ -265,7 +278,9 @@ class ProfileExecutor:
         queue_dir = self.queue_dir
         if queue_dir is None:
             queue_dir = temp_queue = tempfile.mkdtemp(prefix="repro-queue-")
-        return WorkerPoolBackend(queue_dir, spawn_workers=self.jobs), \
+        return WorkerPoolBackend(
+            queue_dir, spawn_workers=self.jobs,
+            heartbeat_timeout=self.policy.heartbeat_timeout_seconds), \
             temp_queue
 
     # ------------------------------------------------------------------ #
@@ -273,18 +288,26 @@ class ProfileExecutor:
             ) -> Tuple[Dict[Any, Any], ProfileRunStats]:
         store = ArtifactStore(self.cache_dir)
         checkpoint: Dict[Any, Any] = {}
-        if self.checkpoint_path:
-            checkpoint = load_checkpoint(self.checkpoint_path)
         on_checkpoint = None
         if self.checkpoint_path:
-            on_checkpoint = (lambda payloads:
-                             save_checkpoint(self.checkpoint_path, payloads))
+            journal = CheckpointJournal(self.checkpoint_path)
+            checkpoint = journal.load()
+            journaled = set(checkpoint)
+
+            def on_checkpoint(payloads: Dict[Any, Any]) -> None:
+                # Append only the frames not yet journaled; a torn tail
+                # costs at most one batch, never the whole checkpoint.
+                fresh = {key: value for key, value in payloads.items()
+                         if key not in journaled}
+                journal.append(fresh)
+                journaled.update(fresh)
 
         task_graph = build_task_graph(plan, repeats=self.time_repeats)
         scheduler = Scheduler(task_graph, store, checkpoint=checkpoint,
                               on_checkpoint=on_checkpoint,
                               checkpoint_every=self.checkpoint_every,
-                              granularity=self.granularity)
+                              granularity=self.granularity,
+                              policy=self.policy)
         needed_fingerprints = scheduler.prepass()
 
         backend, temp_queue = self._make_backend()
@@ -310,8 +333,44 @@ class ProfileExecutor:
             if temp_queue is not None:
                 shutil.rmtree(temp_queue, ignore_errors=True)
 
+        if outcome.quarantined:
+            # A partial result must not masquerade as a dataset: surface
+            # the poisoned tasks (with what *did* run) as an error.
+            stats = self._quarantine_stats(plan, task_graph, outcome,
+                                           backend.name)
+            raise QuarantineError(outcome.quarantined, stats)
         return self._assemble(plan, task_graph, outcome,
                               backend_name=backend.name)
+
+    def _quarantine_stats(self, plan, task_graph, outcome,
+                          backend_name: str) -> ProfileRunStats:
+        """Disposition-level stats of a run that quarantined tasks (the
+        per-unit payload fold is impossible — payloads are missing)."""
+        stats = ProfileRunStats(
+            total_units=len(plan.work_units()),
+            total_tasks=len(task_graph.tasks),
+            partitions_computed=outcome.partitions_computed,
+            backend=backend_name)
+        self._fold_policy_stats(stats, outcome)
+        for disposition in outcome.dispositions.values():
+            if disposition == DISPOSITION_EXECUTED:
+                stats.executed_tasks += 1
+            elif disposition == DISPOSITION_CHECKPOINT:
+                stats.checkpoint_tasks += 1
+            elif disposition in (DISPOSITION_CACHE, DISPOSITION_PRUNED):
+                stats.cache_hit_tasks += 1
+        return stats
+
+    @staticmethod
+    def _fold_policy_stats(stats: ProfileRunStats, outcome) -> None:
+        stats.retried_tasks = outcome.retried_tasks
+        stats.deadline_failures = outcome.deadline_failures
+        stats.quarantined_tasks = len(outcome.quarantined)
+        stats.skipped_tasks = sum(
+            1 for disposition in outcome.dispositions.values()
+            if disposition == DISPOSITION_SKIPPED)
+        stats.quarantines = [record.as_dict()
+                             for record in outcome.quarantined]
 
     # ------------------------------------------------------------------ #
     def _assemble(self, plan: ProfilePlan, task_graph, outcome,
@@ -328,6 +387,7 @@ class ProfileExecutor:
             properties_total=len(plan.properties_jobs()),
             partitions_computed=outcome.partitions_computed,
             backend=backend_name)
+        self._fold_policy_stats(stats, outcome)
 
         stats.total_tasks = len(task_graph.tasks)
         for disposition in outcome.dispositions.values():

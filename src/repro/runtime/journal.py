@@ -1,0 +1,162 @@
+"""Crash-tolerant checkpoint journal: length-prefixed, checksummed frames.
+
+The version-2 checkpoint was a whole-dict pickle rewritten atomically on
+every flush — safe against torn writes but O(checkpoint) per flush and
+unable to *append*.  The journal keeps the same logical content (a dict of
+``task_id -> payload``) as an append-only sequence of frames::
+
+    RPJL1\\n                                  magic (6 bytes)
+    [u32 length][u32 crc32][pickle((key, value))]   frame, repeated
+
+Each frame is one completed task.  A crash (or injected ``torn`` fault)
+mid-append leaves a torn tail: :meth:`load` reads every intact frame,
+truncates the tail away (so later appends extend a clean file) and logs a
+warning — a torn tail costs at most ``checkpoint_every`` tasks, never the
+checkpoint.  Legacy version-2 whole-pickle checkpoints load transparently
+and are upgraded to the journal format on the next :meth:`rewrite`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from typing import Any, Dict, Optional
+
+from ..faults import fire, tear
+from ..obs import get_logger, get_registry
+
+__all__ = ["CheckpointJournal", "JOURNAL_MAGIC"]
+
+JOURNAL_MAGIC = b"RPJL1\n"
+_FRAME_HEADER = struct.Struct("<II")  # payload length, crc32
+
+
+def _encode_frame(key: Any, value: Any) -> bytes:
+    payload = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class CheckpointJournal:
+    """Append-only checkpoint file with per-frame checksums.
+
+    ``load()`` returns the journal's content as a dict (repairing any torn
+    tail in place); ``append(items)`` adds newly completed payloads;
+    ``rewrite(items)`` compacts the whole journal atomically (also the
+    upgrade path from legacy version-2 checkpoints).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._logger = get_logger("runtime.journal")
+        self._torn_counter = get_registry().counter(
+            "checkpoint_torn_frames_total",
+            "Torn checkpoint-journal tails truncated during load")
+
+    # ------------------------------------------------------------------ #
+    def load(self) -> Dict[Any, Any]:
+        """Read every intact frame; truncate and warn on a torn tail."""
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            with open(self.path, "rb") as handle:
+                head = handle.read(len(JOURNAL_MAGIC))
+                if head != JOURNAL_MAGIC:
+                    return self._load_legacy()
+                payloads: Dict[Any, Any] = {}
+                offset = len(JOURNAL_MAGIC)
+                while True:
+                    header = handle.read(_FRAME_HEADER.size)
+                    if not header:
+                        return payloads
+                    if len(header) < _FRAME_HEADER.size:
+                        break
+                    length, crc = _FRAME_HEADER.unpack(header)
+                    payload = handle.read(length)
+                    if len(payload) < length or zlib.crc32(payload) != crc:
+                        break
+                    try:
+                        key, value = pickle.loads(payload)
+                    except Exception:
+                        break
+                    payloads[key] = value
+                    offset += _FRAME_HEADER.size + length
+        except OSError:
+            return {}
+        self._repair(offset)
+        return payloads
+
+    def _repair(self, good_offset: int) -> None:
+        """Truncate a torn tail so later appends extend a clean journal."""
+        try:
+            size = os.path.getsize(self.path)
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_offset)
+        except OSError:
+            return
+        self._torn_counter.inc()
+        self._logger.warning(
+            "checkpoint_torn_tail_truncated", path=self.path,
+            torn_bytes=size - good_offset, kept_bytes=good_offset)
+
+    def _load_legacy(self) -> Dict[Any, Any]:
+        """Load a version-2 whole-pickle checkpoint (or ``{}``)."""
+        try:
+            with open(self.path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            return {}
+        if (not isinstance(payload, dict)
+                or payload.get("kind") != "profile_checkpoint"
+                or payload.get("format_version") != 2):
+            return {}
+        return dict(payload.get("payloads", {}))
+
+    # ------------------------------------------------------------------ #
+    def append(self, items: Dict[Any, Any]) -> None:
+        """Append one frame per item (creating the journal if needed).
+
+        A legacy (version-2) file is compacted to journal format first so
+        the appended frames are not lost behind a whole-pickle prefix.
+        """
+        if not items:
+            return
+        if os.path.exists(self.path):
+            with open(self.path, "rb") as handle:
+                if handle.read(len(JOURNAL_MAGIC)) != JOURNAL_MAGIC:
+                    merged = self._load_legacy()
+                    merged.update(items)
+                    self.rewrite(merged)
+                    return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        data = b"".join(_encode_frame(key, value)
+                        for key, value in items.items())
+        torn = fire("checkpoint.append", key=self.path)
+        if torn is not None:
+            data = tear(data, torn)
+        new_file = not os.path.exists(self.path)
+        with open(self.path, "ab") as handle:
+            if new_file:
+                handle.write(JOURNAL_MAGIC)
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def rewrite(self, items: Dict[Any, Any]) -> None:
+        """Atomically replace the journal with a compacted one."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(JOURNAL_MAGIC)
+                for key, value in items.items():
+                    handle.write(_encode_frame(key, value))
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.remove(temp_path)
+            raise

@@ -29,15 +29,18 @@ the artifact cache deliberately never holds.
 
 from __future__ import annotations
 
+import heapq
+import inspect
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..obs import get_registry
+from ..faults import FailurePolicy, QuarantineRecord
+from ..obs import add_event, get_registry
 from ..obs.trace import begin_span
 from .artifacts import ArtifactStore
-from .backends import ExecutorBackend, TaskEnvelope
+from .backends import ExecutorBackend, TaskEnvelope, TaskFailure
 from .jobs import ProfilePlan
 from .tasks import (
     LAZY_RESTORE,
@@ -57,6 +60,10 @@ DISPOSITION_EXECUTED = "executed"
 DISPOSITION_CHECKPOINT = "checkpoint"
 DISPOSITION_CACHE = "cache"
 DISPOSITION_PRUNED = "pruned"
+#: Terminal failure dispositions of the failure policy: a task that
+#: exhausted its retry budget, and the transitive dependents it stranded.
+DISPOSITION_QUARANTINED = "quarantined"
+DISPOSITION_SKIPPED = "skipped"
 
 
 @dataclass
@@ -118,6 +125,12 @@ class SchedulerOutcome:
     payloads: Dict[TaskId, Any] = field(default_factory=dict)
     dispositions: Dict[TaskId, str] = field(default_factory=dict)
     partitions_computed: int = 0
+    #: Failure-policy accounting: tasks resubmitted after a failed attempt,
+    #: driver-side deadline expiries, and the quarantine records of tasks
+    #: that exhausted their retry budget (their dependents are ``skipped``).
+    retried_tasks: int = 0
+    deadline_failures: int = 0
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
 
 
 class Scheduler:
@@ -148,7 +161,8 @@ class Scheduler:
                  checkpoint: Optional[Dict[TaskId, Any]] = None,
                  on_checkpoint: Optional[Callable] = None,
                  checkpoint_every: int = 16,
-                 granularity: str = "task") -> None:
+                 granularity: str = "task",
+                 policy: Optional[FailurePolicy] = None) -> None:
         if granularity not in ("task", "unit"):
             raise ValueError("granularity must be 'task' or 'unit'")
         if checkpoint_every < 1:
@@ -159,6 +173,7 @@ class Scheduler:
         self.on_checkpoint = on_checkpoint
         self.checkpoint_every = checkpoint_every
         self.granularity = granularity
+        self.policy = policy if policy is not None else FailurePolicy()
         self.outcome = SchedulerOutcome()
         self._schedulable: List = []
         self._consumers_left: Dict[TaskId, int] = {}
@@ -166,11 +181,23 @@ class Scheduler:
         registry = get_registry()
         self._tasks_counter = registry.counter(
             "runtime_tasks_total",
-            "Tasks satisfied, by kind and disposition "
-            "(executed/checkpoint/cache/pruned)", ("kind", "disposition"))
+            "Tasks satisfied, by kind and disposition (executed/checkpoint/"
+            "cache/pruned/quarantined/skipped)", ("kind", "disposition"))
         self._task_hist = registry.histogram(
             "runtime_task_seconds",
             "Wall time from task dispatch to completion, by kind",
+            ("kind",))
+        self._retries_counter = registry.counter(
+            "runtime_task_retries_total",
+            "Failed task attempts resubmitted under the failure policy",
+            ("kind",))
+        self._quarantine_counter = registry.counter(
+            "runtime_tasks_quarantined_total",
+            "Tasks quarantined after exhausting their retry budget",
+            ("kind",))
+        self._deadline_counter = registry.counter(
+            "runtime_task_deadline_exceeded_total",
+            "Dispatched tasks that missed their per-kind deadline",
             ("kind",))
 
     # ------------------------------------------------------------------ #
@@ -217,7 +244,15 @@ class Scheduler:
 
     # ------------------------------------------------------------------ #
     def execute(self, backend: ExecutorBackend) -> SchedulerOutcome:
-        """Dispatch the unsatisfied tasks to ``backend`` until done."""
+        """Dispatch the unsatisfied tasks to ``backend`` until done.
+
+        Failed attempts (a :class:`TaskFailure` completion, or a per-kind
+        execution deadline expiring) are retried with exponential backoff
+        up to ``policy.max_attempts``; a task that exhausts the budget is
+        quarantined together with its transitive dependents and the run
+        continues with the rest of the DAG.
+        """
+        policy = self.policy
         remaining_deps: Dict[TaskId, int] = {}
         dependents_to_run: Dict[TaskId, List] = {}
         ready = deque()
@@ -232,13 +267,21 @@ class Scheduler:
                 ready.append(task)
 
         in_flight: Dict[TaskId, Any] = {}
-        # task_id -> (dispatch time, dispatch SpanHandle or None); feeds the
-        # per-kind duration histogram and closes the dispatch span when the
-        # completion comes back.
-        dispatched: Dict[TaskId, Tuple[float, Any]] = {}
+        # task_id -> (dispatch time, dispatch SpanHandle or None, absolute
+        # monotonic deadline or None); feeds the per-kind duration
+        # histogram, closes the dispatch span on completion, and drives
+        # deadline expiry while the driver waits.
+        dispatched: Dict[TaskId, Tuple[float, Any, Optional[float]]] = {}
+        failures: Dict[TaskId, int] = {}
+        retry_heap: List[Tuple[float, int, Any]] = []
+        retry_seq = 0
+        supports_timeout = self._backend_supports_timeout(backend)
         executed_since_checkpoint = 0
         try:
-            while ready or in_flight:
+            while ready or in_flight or retry_heap:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    ready.append(heapq.heappop(retry_heap)[2])
                 while ready:
                     task = ready.popleft()
                     in_flight[task.task_id] = task
@@ -248,16 +291,50 @@ class Scheduler:
                                "kind": task.task_id[0],
                                "backend": backend.name})
                     trace = handle.envelope_context() if handle else None
-                    dispatched[task.task_id] = (time.monotonic(), handle)
+                    kind_deadline = policy.deadline_for(task.task_id[0])
+                    deadline_at = (None if kind_deadline is None
+                                   else time.monotonic() + kind_deadline)
+                    dispatched[task.task_id] = (time.monotonic(), handle,
+                                                deadline_at)
                     backend.submit(self._envelope(task, trace=trace))
-                task_id, payload = backend.next_completed()
+                if not in_flight:
+                    # Only backoff timers are pending; sleep the shortest.
+                    if retry_heap:
+                        time.sleep(max(0.0,
+                                       retry_heap[0][0] - time.monotonic()))
+                    continue
+                timeout = self._wait_timeout(dispatched, retry_heap)
+                if timeout is not None and not supports_timeout:
+                    timeout = None  # legacy backend: deadlines degrade
+                completion = (backend.next_completed() if timeout is None
+                              else backend.next_completed(timeout=timeout))
+                if completion is None:
+                    for task, failure in self._expired_deadlines(dispatched,
+                                                                 in_flight):
+                        self._handle_failure(task, failure, failures,
+                                             retry_heap, retry_seq, backend,
+                                             dependents_to_run,
+                                             remaining_deps, ready)
+                        retry_seq += 1
+                    continue
+                task_id, payload = completion
+                if task_id not in in_flight:
+                    continue  # late completion of a deadline-retried task
                 task = in_flight.pop(task_id)
-                submitted_at, handle = dispatched.pop(task_id, (None, None))
+                submitted_at, handle, _ = dispatched.pop(
+                    task_id, (None, None, None))
                 if submitted_at is not None:
                     self._task_hist.labels(task_id[0]).observe(
                         time.monotonic() - submitted_at)
                 if handle is not None:
                     handle.finish()
+                if isinstance(payload, TaskFailure):
+                    self._handle_failure(task, payload, failures, retry_heap,
+                                         retry_seq, backend,
+                                         dependents_to_run, remaining_deps,
+                                         ready)
+                    retry_seq += 1
+                    continue
                 member_payloads = (payload if isinstance(task, FusedTask)
                                    else {task_id: payload})
                 for member_id, member_payload in member_payloads.items():
@@ -268,6 +345,8 @@ class Scheduler:
                     self._release_consumer(dep)
                 for member_id in member_payloads:
                     for dependent in dependents_to_run.pop(member_id, []):
+                        if dependent.task_id not in remaining_deps:
+                            continue  # skipped via an earlier quarantine
                         remaining_deps[dependent.task_id] -= 1
                         if remaining_deps[dependent.task_id] == 0:
                             ready.append(dependent)
@@ -279,6 +358,125 @@ class Scheduler:
             if self.on_checkpoint is not None and executed_since_checkpoint:
                 self.on_checkpoint(self.checkpoint)
         return self.outcome
+
+    # ------------------------------------------------------------------ #
+    # Failure policy
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _backend_supports_timeout(backend: ExecutorBackend) -> bool:
+        try:
+            parameters = inspect.signature(backend.next_completed).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic backend
+            return False
+        return "timeout" in parameters
+
+    def _wait_timeout(self, dispatched, retry_heap) -> Optional[float]:
+        """How long the backend wait may block before the driver must act
+        (a backoff timer firing or an in-flight deadline expiring)."""
+        candidates = []
+        if retry_heap:
+            candidates.append(retry_heap[0][0])
+        for _, _, deadline_at in dispatched.values():
+            if deadline_at is not None:
+                candidates.append(deadline_at)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates) - time.monotonic())
+
+    def _expired_deadlines(self, dispatched, in_flight):
+        """Pop in-flight tasks whose deadline passed as synthetic failures.
+
+        The attempt may well still be running in a worker — tasks cannot
+        be interrupted across a process boundary — so the task is *not*
+        discarded from the backend: if the old attempt finishes after the
+        resubmission, its (pure) result is accepted like any other.
+        """
+        now = time.monotonic()
+        expired = []
+        for task_id, (submitted_at, handle, deadline_at) in \
+                list(dispatched.items()):
+            if deadline_at is None or now < deadline_at:
+                continue
+            task = in_flight.pop(task_id, None)
+            if task is None:
+                continue
+            dispatched.pop(task_id, None)
+            if handle is not None:
+                handle.finish()
+            self._deadline_counter.labels(task_id[0]).inc()
+            self.outcome.deadline_failures += 1
+            elapsed = now - submitted_at
+            expired.append((task, TaskFailure(
+                error=f"deadline exceeded for {task_id!r}: still running "
+                      f"after {elapsed:.3f}s "
+                      f"(limit {self.policy.deadline_for(task_id[0]):.3f}s)",
+                deadline=True)))
+        return expired
+
+    def _handle_failure(self, task, failure: TaskFailure,
+                        failures: Dict[TaskId, int], retry_heap,
+                        retry_seq: int, backend: ExecutorBackend,
+                        dependents_to_run, remaining_deps, ready) -> None:
+        task_id = task.task_id
+        count = failures.get(task_id, 0) + 1
+        failures[task_id] = count
+        add_event("task.failed", {"task_id": repr(task_id),
+                                  "attempt": count,
+                                  "deadline": failure.deadline,
+                                  "error": failure.error})
+        if count >= self.policy.max_attempts:
+            self._quarantine(task, failure, count, backend,
+                             dependents_to_run, remaining_deps, ready)
+            return
+        self._retries_counter.labels(task_id[0]).inc()
+        self.outcome.retried_tasks += 1
+        delay = self.policy.backoff(count)
+        heapq.heappush(retry_heap,
+                       (time.monotonic() + delay, retry_seq, task))
+
+    def _quarantine(self, task, failure: TaskFailure, attempts: int,
+                    backend: ExecutorBackend, dependents_to_run,
+                    remaining_deps, ready) -> None:
+        """Record a poisoned task and skip its transitive dependents."""
+        task_id = task.task_id
+        record = QuarantineRecord(task_id=task_id, kind=task_id[0],
+                                  attempts=attempts, error=failure.error,
+                                  traceback=failure.traceback)
+        self.outcome.quarantined.append(record)
+        self.outcome.dispositions[task_id] = DISPOSITION_QUARANTINED
+        self._tasks_counter.labels(task_id[0],
+                                   DISPOSITION_QUARANTINED).inc()
+        self._quarantine_counter.labels(task_id[0]).inc()
+        add_event("task.quarantined", {"task_id": repr(task_id),
+                                       "attempts": attempts,
+                                       "error": failure.error})
+        backend.discard(task_id)
+        for dep in task.input_dependencies:
+            self._release_consumer(dep)
+        # Everything transitively downstream of the poisoned task can never
+        # run; mark it skipped so the execute loop terminates instead of
+        # waiting for dependencies that will not arrive.
+        ready_ids = {pending.task_id for pending in ready}
+        stack = list(task.member_ids if isinstance(task, FusedTask)
+                     else (task_id,))
+        while stack:
+            member_id = stack.pop()
+            for dependent in dependents_to_run.pop(member_id, []):
+                dependent_id = dependent.task_id
+                if self.outcome.dispositions.get(dependent_id) == \
+                        DISPOSITION_SKIPPED:
+                    continue
+                if dependent_id in ready_ids:
+                    continue  # already dispatchable via other deps
+                self.outcome.dispositions[dependent_id] = DISPOSITION_SKIPPED
+                self._tasks_counter.labels(dependent_id[0],
+                                           DISPOSITION_SKIPPED).inc()
+                remaining_deps.pop(dependent_id, None)
+                for dep in dependent.input_dependencies:
+                    self._release_consumer(dep)
+                stack.extend(dependent.member_ids
+                             if isinstance(dependent, FusedTask)
+                             else (dependent_id,))
 
     def run(self, backend: ExecutorBackend) -> SchedulerOutcome:
         """Convenience: :meth:`prepass` then :meth:`execute` on ``backend``

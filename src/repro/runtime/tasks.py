@@ -165,8 +165,11 @@ class PartitionTask:
     def restore(self, store: ArtifactStore) -> Optional[str]:
         # The assignment may be large; defer the actual load until a
         # dependent asks for it (the scheduler resolves the marker through
-        # the store).
-        return LAZY_RESTORE if self.task_id in store else None
+        # the store).  ``verify`` fully loads the pickle once so a torn or
+        # truncated cached assignment is deleted and recomputed here, in
+        # the pre-pass, instead of blowing up mid-run when a consumer
+        # resolves the lazy marker.
+        return LAZY_RESTORE if store.verify(self.task_id) else None
 
     def execute(self, graph: Graph, store: ArtifactStore,
                 inputs: Dict[TaskId, Any]) -> Dict[str, Any]:
@@ -459,11 +462,14 @@ def execute_task(task, graph: Graph, store: ArtifactStore,
     wrapped in a worker-side span parented to the driver's dispatch span,
     so a stitched ``repro trace show`` covers driver and workers alike.
     """
+    from ..faults import fire
+
+    task_id = getattr(task, "task_id", None)
+    fire("worker.execute", key=repr(task_id))
     if trace is None:
         return task.execute(graph, store, inputs or {})
     from ..obs import task_span
 
-    task_id = getattr(task, "task_id", None)
     with task_span(trace, "task.execute",
                    attrs={"task_id": repr(task_id),
                           "kind": task_id[0] if task_id else None,

@@ -28,6 +28,7 @@ on disk with tags and training provenance) and
 from .registry import ModelRegistry, ModelVersion, dataset_fingerprint
 from .service import (
     AdmissionGate,
+    CircuitBreaker,
     GraphResolver,
     SelectionService,
     ServiceStats,
@@ -41,6 +42,7 @@ from .client import SelectionClient
 __all__ = [
     "AdmissionGate",
     "BadRequest",
+    "CircuitBreaker",
     "GraphResolver",
     "ModelRegistry",
     "ModelRouter",

@@ -5,11 +5,12 @@ raise :class:`SelectionServiceError` carrying the server's ``error`` message,
 and transport failures (connection refused/reset, DNS) are wrapped in the
 same exception with ``status=None`` instead of leaking raw urllib errors.
 
-When the server sheds load (``429`` + ``Retry-After``, see the admission
-gate in :mod:`repro.serving.service`), a client constructed with
-``retries=N`` sleeps out the server's hint (with jitter, so a herd of
-clients does not re-arrive in lockstep) and retries up to N times before
-surfacing the 429.
+When the server sheds load (``429`` + ``Retry-After`` from the admission
+gate, or ``503`` + ``Retry-After`` from an open circuit breaker — see
+:mod:`repro.serving.service`), a client constructed with ``retries=N``
+sleeps out the server's hint (with jitter, so a herd of clients does not
+re-arrive in lockstep) and retries up to N times before surfacing the
+error.
 """
 
 from __future__ import annotations
@@ -68,9 +69,10 @@ class SelectionClient:
     timeout:
         Per-request socket timeout in seconds.
     retries:
-        How many times a shed (``429``) request is retried after sleeping
-        out the server's ``Retry-After`` hint; ``0`` (the default) surfaces
-        the 429 immediately.
+        How many times a shed request (``429`` from the admission gate or
+        ``503`` from an open circuit breaker) is retried after sleeping out
+        the server's ``Retry-After`` hint; ``0`` (the default) surfaces the
+        error immediately.
     max_retry_wait:
         Upper bound of one retry sleep, whatever the server hints.
     model:
@@ -135,12 +137,17 @@ class SelectionClient:
             # Connection refused/reset, DNS failure, timeout: no response.
             raise SelectionServiceError(None, str(error.reason)) from error
 
+    #: Statuses worth retrying: 429 (admission gate shed) and 503 (circuit
+    #: breaker open / registry briefly unreadable); both carry Retry-After.
+    RETRYABLE_STATUSES = (429, 503)
+
     def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
         for attempt in range(self.retries + 1):
             try:
                 return self._request_once(path, payload)
             except SelectionServiceError as error:
-                if error.status != 429 or attempt >= self.retries:
+                if error.status not in self.RETRYABLE_STATUSES \
+                        or attempt >= self.retries:
                     raise
                 self._sleep(self._retry_wait(
                     error, attempt, getattr(error, "retry_after", None)))

@@ -374,6 +374,16 @@ class RequestCore:
         admission_started = time.perf_counter()
         payload = self._decode_body(body)
         tag, service = self._route(payload, headers)
+        breaker = service.breaker
+        allowed, breaker_retry_after = breaker.allow()
+        if not allowed:
+            return Response(
+                503,
+                {"error": f"model {tag!r} circuit breaker is open; retry "
+                          f"after {breaker_retry_after}s",
+                 "model": tag, "retry_after": breaker_retry_after,
+                 "breaker": breaker.as_dict()},
+                headers=(("Retry-After", str(breaker_retry_after)),))
         gate = service.admission
         admitted = gate.try_acquire()
         self._admission_wait_hist.observe(
@@ -396,6 +406,7 @@ class RequestCore:
             try:
                 graph = job["graph"]
                 properties_mode = job["properties_mode"]
+                degraded = False
                 extraction_info = None
                 if properties_mode == "approximate":
                     # Resolve once with metadata so the response can carry
@@ -405,6 +416,15 @@ class RequestCore:
                     graph, extraction_info = \
                         service.resolve_properties_with_info(
                             graph, properties_mode)
+                elif service.exact_deadline_seconds is not None:
+                    # Deadline-bounded exact extraction; past the deadline
+                    # the request degrades to approximate properties and
+                    # the rest of the pipeline (result-cache key included)
+                    # runs in approximate mode.
+                    graph, extraction_info, degraded = \
+                        service.resolve_for_request(graph, properties_mode)
+                    if degraded:
+                        properties_mode = "approximate"
                 if path == "/v1/select":
                     result = service.select(
                         graph, job["algorithm"],
@@ -423,9 +443,18 @@ class RequestCore:
                         "num_partitions": job["num_partitions"],
                         "predictions": [_score_payload(s) for s in scores]}
             except ValueError as error:
-                # e.g. an algorithm without a trained model
+                # e.g. an algorithm without a trained model; a caller error,
+                # so the breaker is unaffected
                 return self.error(400, str(error))
+            except Exception as error:
+                # Internal failure: feed the breaker so a failing model
+                # starts shedding with 503 instead of burning every request.
+                breaker.record_failure()
+                return self.error(500, f"internal error: {error}")
+            breaker.record_success()
             answer["model"] = tag
+            if degraded:
+                answer["degraded"] = True
             if extraction_info is not None:
                 answer["properties_extraction"] = extraction_info
             return Response(200, answer)

@@ -30,15 +30,18 @@ its properties with one :func:`repro.graph.compute_properties_batch` call
 from __future__ import annotations
 
 import itertools
+import math
 import os
 import queue
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..faults import fire
 from ..obs import get_registry
 from ..obs.metrics import SIZE_BUCKETS
 
@@ -61,7 +64,8 @@ from ..ease.selector import (
 from ..runtime.jobs import graph_fingerprint
 from .registry import ModelRegistry, ModelVersion
 
-__all__ = ["AdmissionGate", "GraphResolver", "SelectionService", "ServiceStats"]
+__all__ = ["AdmissionGate", "CircuitBreaker", "GraphResolver",
+           "SelectionService", "ServiceStats"]
 
 #: Process-wide sequence distinguishing service/gate/resolver instances in
 #: the metrics registry.  The registry outlives any one instance, so each
@@ -149,6 +153,111 @@ class AdmissionGate:
                     "in_flight": self.in_flight,
                     "admitted_total": self.admitted_total,
                     "shed_total": self.shed_total}
+
+
+class CircuitBreaker:
+    """Per-service circuit breaker over internal (5xx-class) failures.
+
+    Closed by default; :meth:`record_failure` counts consecutive internal
+    errors and at ``failure_threshold`` the breaker *opens*: :meth:`allow`
+    answers ``(False, retry_after)`` — the request core turns that into
+    ``503`` with a ``Retry-After`` header — until ``reset_seconds`` have
+    elapsed.  It then moves to *half-open* and lets traffic through as
+    probes: the first success closes the breaker, the first failure reopens
+    it for another full reset window.  A success in the closed state clears
+    the consecutive-failure count.
+
+    State surfaces three ways, all one source of truth: the
+    ``serving_breaker_open`` gauge and ``serving_breaker_transitions_total``
+    counter on ``/metrics``, :meth:`as_dict` on ``/healthz``, and the
+    ``state`` attribute for tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_seconds: float = 5.0,
+                 instance: Optional[str] = None) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_seconds <= 0:
+            raise ValueError("reset_seconds must be > 0")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.instance = instance or _instance_label("breaker")
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        registry = get_registry()
+        self._open_gauge = registry.gauge(
+            "serving_breaker_open",
+            "1 while the service circuit breaker is open, else 0",
+            ("service",)).labels(self.instance)
+        self._transitions = registry.counter(
+            "serving_breaker_transitions_total",
+            "Circuit-breaker state transitions by target state",
+            ("service", "state"))
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _transition(self, state: str) -> None:
+        # Caller holds the lock.
+        if state == self._state:
+            return
+        self._state = state
+        self._open_gauge.set(1 if state == self.OPEN else 0)
+        self._transitions.labels(self.instance, state).inc()
+
+    def allow(self) -> Tuple[bool, Optional[int]]:
+        """Whether a request may proceed; else the Retry-After seconds.
+
+        An open breaker whose reset window has elapsed moves to half-open
+        here and admits the request as a probe.
+        """
+        with self._lock:
+            if self._state == self.OPEN:
+                remaining = self._opened_at + self.reset_seconds \
+                    - time.monotonic()
+                if remaining > 0:
+                    return False, max(1, int(math.ceil(remaining)))
+                self._transition(self.HALF_OPEN)
+            return True, None
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state == self.HALF_OPEN:
+                self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._opened_at = time.monotonic()
+                self._transition(self.OPEN)
+                return
+            self._failures += 1
+            if self._state == self.CLOSED \
+                    and self._failures >= self.failure_threshold:
+                self._opened_at = time.monotonic()
+                self._transition(self.OPEN)
+
+    def as_dict(self) -> Dict:
+        with self._lock:
+            payload = {"state": self._state,
+                       "consecutive_failures": self._failures,
+                       "failure_threshold": self.failure_threshold,
+                       "reset_seconds": self.reset_seconds}
+            if self._state == self.OPEN:
+                payload["retry_after_seconds"] = max(
+                    0.0, self._opened_at + self.reset_seconds
+                    - time.monotonic())
+            return payload
 
 
 class GraphResolver:
@@ -242,6 +351,8 @@ class ServiceStats:
         "result_cache_misses": "Result-cache misses",
         "approximate_hits": "Requests answered with approximate properties",
         "budget_exhausted": "Approximate requests that actually sampled",
+        "degraded": "Requests degraded to approximate properties by the "
+                    "exact-extraction deadline",
     }
 
     def __init__(self, instance: Optional[str] = None) -> None:
@@ -286,7 +397,8 @@ class ServiceStats:
                 "result_cache_hits": self.result_cache_hits,
                 "result_cache_misses": self.result_cache_misses,
                 "approximate_hits": self.approximate_hits,
-                "budget_exhausted": self.budget_exhausted}
+                "budget_exhausted": self.budget_exhausted,
+                "degraded": self.degraded}
 
 
 @dataclass
@@ -345,6 +457,18 @@ class SelectionService:
         (``properties_mode="approximate"`` requests).  Bounds the first-hit
         latency of any single graph regardless of its size.  ``None`` uses
         :data:`repro.graph.sketches.DEFAULT_WEDGE_BUDGET`.
+    exact_deadline_seconds:
+        Graceful-degradation deadline on *exact* property extraction.  When
+        an exact extraction of a raw graph exceeds it, the request is
+        answered from bounded approximate properties instead and carries a
+        ``degraded: true`` marker (plus ``deadline_exceeded`` in the
+        extraction info).  The timed-out exact extraction keeps running in
+        the background and warms the property cache for later requests.
+        ``None`` (the default) never degrades.
+    breaker_threshold / breaker_reset_seconds:
+        :class:`CircuitBreaker` configuration: consecutive internal errors
+        before the breaker opens, and how long it stays open before
+        half-open probes.
 
     The micro-batcher only runs between :meth:`start` and :meth:`stop` (or
     inside a ``with`` block); an unstarted service executes every request
@@ -361,13 +485,19 @@ class SelectionService:
                  graph_store: Optional[Union[GraphStore, str,
                                              GraphResolver]] = None,
                  max_inflight: Optional[int] = None,
-                 approximate_wedge_budget: Optional[int] = None) -> None:
+                 approximate_wedge_budget: Optional[int] = None,
+                 exact_deadline_seconds: Optional[float] = None,
+                 breaker_threshold: int = 5,
+                 breaker_reset_seconds: float = 5.0) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_wait_seconds < 0:
             raise ValueError("batch_wait_seconds must be >= 0")
         if result_cache_size < 0:
             raise ValueError("result_cache_size must be >= 0")
+        if exact_deadline_seconds is not None and exact_deadline_seconds <= 0:
+            raise ValueError("exact_deadline_seconds must be > 0 (None = "
+                             "never degrade)")
         if approximate_wedge_budget is None:
             approximate_wedge_budget = DEFAULT_WEDGE_BUDGET
         if approximate_wedge_budget < 1:
@@ -389,6 +519,13 @@ class SelectionService:
         self.instance = _instance_label(
             str(dict(model_info or {}).get("name") or "service"))
         self.admission = AdmissionGate(max_inflight, instance=self.instance)
+        self.breaker = CircuitBreaker(breaker_threshold,
+                                      breaker_reset_seconds,
+                                      instance=self.instance)
+        self.exact_deadline_seconds = exact_deadline_seconds
+        # Lazy pool running deadline-bounded exact extractions; created on
+        # first degradable request, torn down by stop().
+        self._deadline_pool: Optional[ThreadPoolExecutor] = None
         self.stats = ServiceStats(instance=self.instance)
         registry = get_registry()
         self._queue_wait_hist = registry.histogram(
@@ -493,6 +630,12 @@ class SelectionService:
                     leftovers.append(item)
             if leftovers:
                 self._execute(leftovers)
+            pool = self._deadline_pool
+            self._deadline_pool = None
+            if pool is not None:
+                # Never block shutdown on a slow extraction that already
+                # blew its deadline; it finishes on its own thread.
+                pool.shutdown(wait=False)
 
     def __enter__(self) -> "SelectionService":
         return self.start()
@@ -557,6 +700,55 @@ class SelectionService:
         """
         return self._resolve_entries([graph], [properties_mode])[0]
 
+    def _ensure_deadline_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._deadline_pool is None:
+                self._deadline_pool = ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix="exact-deadline")
+            return self._deadline_pool
+
+    def resolve_for_request(self, graph: Union[Graph, GraphProperties],
+                            properties_mode: str = "exact"
+                            ) -> Tuple[GraphProperties, Optional[Dict],
+                                       bool]:
+        """Property resolution with graceful degradation.
+
+        Returns ``(properties, extraction_info, degraded)``.  Without an
+        ``exact_deadline_seconds`` (or for approximate-mode and
+        precomputed-properties requests) this is exactly
+        :meth:`resolve_properties_with_info` with ``degraded=False``.
+
+        With a deadline, exact extraction of a raw graph runs on a small
+        background pool and is awaited for at most the deadline; past it the
+        request degrades to bounded approximate properties, ``degraded``
+        comes back True and the extraction info carries
+        ``deadline_exceeded`` / ``deadline_seconds``.  The timed-out exact
+        extraction is *not* cancelled — it finishes in the background and
+        warms the property cache, so a repeat of the same request answers
+        exactly.
+        """
+        if (self.exact_deadline_seconds is None
+                or properties_mode != "exact"
+                or isinstance(graph, GraphProperties)):
+            properties, info = self.resolve_properties_with_info(
+                graph, properties_mode)
+            return properties, info, False
+        future = self._ensure_deadline_pool().submit(
+            self.resolve_properties_with_info, graph, "exact")
+        try:
+            properties, info = future.result(
+                timeout=self.exact_deadline_seconds)
+            return properties, info, False
+        except FuturesTimeoutError:
+            pass
+        self.stats.inc("degraded")
+        properties, info = self.resolve_properties_with_info(
+            graph, "approximate")
+        info = dict(info or {})
+        info["deadline_exceeded"] = True
+        info["deadline_seconds"] = self.exact_deadline_seconds
+        return properties, info, True
+
     def resolve_properties_batch(self,
                                  graphs: Sequence[Union[Graph,
                                                         GraphProperties]],
@@ -588,6 +780,8 @@ class SelectionService:
                 raise ValueError(
                     f"unknown properties_mode {mode!r}; "
                     f"expected one of {list(self.PROPERTIES_MODES)}")
+        if any(not isinstance(graph, GraphProperties) for graph in graphs):
+            fire("serving.resolve_properties", key=",".join(modes))
         resolved: List[Optional[Tuple[GraphProperties, Optional[Dict]]]] = \
             [None] * len(graphs)
         # Hash outside the lock: fingerprinting reads the full edge arrays,
@@ -939,6 +1133,8 @@ class SelectionService:
             "partitioners": list(self.system.partitioner_names),
             "queue_depth": self._queue.qsize(),
             "admission": self.admission.as_dict(),
+            "breaker": self.breaker.as_dict(),
             "approximate_wedge_budget": self.approximate_wedge_budget,
+            "exact_deadline_seconds": self.exact_deadline_seconds,
             "stats": self.stats.as_dict(),
         }
